@@ -1,0 +1,121 @@
+package distcolor
+
+// One benchmark per experiment (see DESIGN.md §3 and EXPERIMENTS.md):
+// each bench re-runs the corresponding paper-claim reproduction at Quick
+// scale and reports LOCAL rounds (the paper's complexity measure) alongside
+// wall time. `go run ./cmd/experiments` regenerates the full-scale tables.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"distcolor/internal/core"
+	"distcolor/internal/experiments"
+	"distcolor/internal/gen"
+	"distcolor/internal/local"
+	"distcolor/internal/lower"
+)
+
+func benchSection(b *testing.B, run func(experiments.Scale) *experiments.Section) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := run(experiments.Quick)
+		if len(s.Rows) < 2 {
+			b.Fatal("experiment produced no data")
+		}
+	}
+}
+
+func BenchmarkE1_Theorem13_Main(b *testing.B)          { benchSection(b, experiments.E1) }
+func BenchmarkE2_Corollary14_Arboricity(b *testing.B)  { benchSection(b, experiments.E2) }
+func BenchmarkE3_Theorem61_NiceLists(b *testing.B)     { benchSection(b, experiments.E3) }
+func BenchmarkE4_Planar6(b *testing.B)                 { benchSection(b, experiments.E4) }
+func BenchmarkE5_TriangleFree4(b *testing.B)           { benchSection(b, experiments.E5) }
+func BenchmarkE6_Girth6_3Colors(b *testing.B)          { benchSection(b, experiments.E6) }
+func BenchmarkE7_GPS_vs_ABBE(b *testing.B)             { benchSection(b, experiments.E7) }
+func BenchmarkE8_BE_vs_ABBE(b *testing.B)              { benchSection(b, experiments.E8) }
+func BenchmarkE9_HappyFraction(b *testing.B)           { benchSection(b, experiments.E9) }
+func BenchmarkE10_ExtensionRounds(b *testing.B)        { benchSection(b, experiments.E10) }
+func BenchmarkE11_SadConstruction(b *testing.B)        { benchSection(b, experiments.E11) }
+func BenchmarkE12_Theorem15_LowerBound(b *testing.B)   { benchSection(b, experiments.E12) }
+func BenchmarkE13_Theorem25_KleinGrid(b *testing.B)    { benchSection(b, experiments.E13) }
+func BenchmarkE14_Theorem26_Grid(b *testing.B)         { benchSection(b, experiments.E14) }
+func BenchmarkE15_PathTwoColoring(b *testing.B)        { benchSection(b, experiments.E15) }
+func BenchmarkE16_Genus(b *testing.B)                  { benchSection(b, experiments.E16) }
+func BenchmarkE17_RandomizedListColoring(b *testing.B) { benchSection(b, experiments.E17) }
+func BenchmarkE18_GallaiDichotomy(b *testing.B)        { benchSection(b, experiments.E18) }
+func BenchmarkE19_NetworkDecomposition(b *testing.B)   { benchSection(b, experiments.E19) }
+
+// --- Component microbenchmarks: the scaling of the two algorithmic halves
+// (Lemma 3.1 peeling and Lemma 3.2 extension) and key substrates.
+
+func benchPlanar6AtSize(b *testing.B, n int) {
+	b.Helper()
+	r := rand.New(rand.NewPCG(uint64(n), 7))
+	g := gen.Apollonian(n, r)
+	b.ResetTimer()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		nw := local.NewShuffledNetwork(g, r)
+		res, err := core.Planar6(nw, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds()
+	}
+	b.ReportMetric(float64(rounds), "LOCAL-rounds")
+}
+
+func BenchmarkPlanar6_n250(b *testing.B)  { benchPlanar6AtSize(b, 250) }
+func BenchmarkPlanar6_n1000(b *testing.B) { benchPlanar6AtSize(b, 1000) }
+func BenchmarkPlanar6_n4000(b *testing.B) { benchPlanar6AtSize(b, 4000) }
+
+func BenchmarkTheorem13_3Regular_n500(b *testing.B) {
+	r := rand.New(rand.NewPCG(11, 13))
+	g, err := gen.RandomRegular(500, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(local.NewShuffledNetwork(g, r), core.Config{D: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds()
+	}
+	b.ReportMetric(float64(rounds), "LOCAL-rounds")
+}
+
+func BenchmarkGPS7_n4000(b *testing.B) {
+	r := rand.New(rand.NewPCG(17, 19))
+	g := gen.Apollonian(4000, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GoldbergPlotkinShannon7(g, Options{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChromaticNumber_Klein5x7(b *testing.B) {
+	g := gen.KleinGrid(5, 7)
+	for i := 0; i < b.N; i++ {
+		chi, err := lower.ChromaticNumber(g, 5)
+		if err != nil || chi != 4 {
+			b.Fatalf("χ=%d err=%v", chi, err)
+		}
+	}
+}
+
+func BenchmarkHappySet_Apollonian_n2000(b *testing.B) {
+	r := rand.New(rand.NewPCG(23, 29))
+	g := gen.Apollonian(2000, r)
+	for i := 0; i < b.N; i++ {
+		st := core.SadAnalysis(g, 6, 10000)
+		if st.Rich == 0 {
+			b.Fatal("no rich vertices")
+		}
+	}
+}

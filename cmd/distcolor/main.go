@@ -1,0 +1,221 @@
+// Command distcolor colors a generated or loaded graph with any algorithm
+// of the reproduction and reports colors used, LOCAL rounds and the
+// per-phase breakdown.
+//
+// Examples:
+//
+//	distcolor -gen apollonian:2000 -algo planar6
+//	distcolor -gen regular:500,3 -algo sparse -d 3 -seed 7
+//	distcolor -gen forests:1000,2 -algo arboricity -a 2
+//	distcolor -gen forests:1000,2 -algo be -a 2 -eps 0.5
+//	distcolor -gen klein:5x9 -algo chromatic
+//	distcolor -load graph.txt -algo gps7
+//
+// Graph files: first line "n", then one "u v" edge per line (0-based).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"distcolor"
+	"distcolor/internal/density"
+	"distcolor/internal/gen"
+	"distcolor/internal/graph"
+	"distcolor/internal/local"
+	"distcolor/internal/lower"
+	"distcolor/internal/reduce"
+	"distcolor/internal/seqcolor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distcolor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	genSpec := flag.String("gen", "", "generator spec, e.g. apollonian:1000, grid:20x30, regular:500,3, forests:800,2, klein:5x9, cyclepower:25, cycle:50, path:50, gallai:6")
+	load := flag.String("load", "", "load an edge-list file instead of generating")
+	algo := flag.String("algo", "planar6", "algorithm: sparse|planar6|trianglefree4|girth6|arboricity|delta|nice|gps7|be|randomized|chromatic|stats")
+	d := flag.Int("d", 6, "sparsity parameter d for -algo sparse")
+	a := flag.Int("a", 2, "arboricity for -algo arboricity/be")
+	eps := flag.Float64("eps", 0.5, "ε for -algo be")
+	seed := flag.Uint64("seed", 1, "seed for generation and ID shuffling")
+	listSize := flag.Int("listsize", 0, "use random lists of this size (0 = uniform palette)")
+	palette := flag.Int("palette", 0, "palette size for random lists (0 = 2·listsize+2)")
+	verbose := flag.Bool("v", false, "print the per-phase round breakdown")
+	flag.Parse()
+
+	rng := rand.New(rand.NewPCG(*seed, 0x2545f4914f6cdd1d))
+	var g *graph.Graph
+	var err error
+	switch {
+	case *load != "":
+		g, err = loadGraph(*load)
+	case *genSpec != "":
+		g, err = gen.ParseSpec(*genSpec, rng)
+	default:
+		return fmt.Errorf("need -gen or -load (try -gen apollonian:1000)")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d Δ=%d avgdeg=%.2f\n", g.N(), g.M(), g.MaxDegree(), g.AverageDegree())
+
+	var lists [][]int
+	mkLists := func(k int) [][]int {
+		if *listSize == 0 {
+			return nil
+		}
+		p := *palette
+		if p == 0 {
+			p = 2**listSize + 2
+		}
+		out := make([][]int, g.N())
+		for v := range out {
+			perm := rng.Perm(p)
+			out[v] = perm[:k]
+		}
+		return out
+	}
+
+	opts := distcolor.Options{Seed: *seed}
+	var col *distcolor.Coloring
+	switch *algo {
+	case "sparse":
+		lists = mkLists(*d)
+		col, err = distcolor.SparseListColor(g, *d, lists, opts)
+	case "planar6":
+		lists = mkLists(6)
+		col, err = distcolor.Planar6(g, lists, opts)
+	case "trianglefree4":
+		lists = mkLists(4)
+		col, err = distcolor.TriangleFreePlanar4(g, lists, opts)
+	case "girth6":
+		lists = mkLists(3)
+		col, err = distcolor.PlanarGirth6Color3(g, lists, opts)
+	case "arboricity":
+		lists = mkLists(2 * *a)
+		col, err = distcolor.ArboricityColor(g, *a, lists, opts)
+	case "delta":
+		k := g.MaxDegree()
+		lists = mkLists(k)
+		if lists == nil {
+			lists = distcolor.UniformLists(g.N(), k)
+		}
+		col, err = distcolor.DeltaListColor(g, lists, opts)
+	case "nice":
+		lists = niceLists(g, rng)
+		col, err = distcolor.NiceListColor(g, lists, opts)
+	case "gps7":
+		col, err = distcolor.GoldbergPlotkinShannon7(g, opts)
+	case "be":
+		col, err = distcolor.BarenboimElkin(g, *a, *eps, opts)
+	case "randomized":
+		col, err = runRandomized(g, rng)
+	case "chromatic":
+		chi, cerr := lower.ChromaticNumber(g, 8)
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("chromatic number: %d\n", chi)
+		return nil
+	case "stats":
+		return printStats(g)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	if col.Clique != nil {
+		fmt.Printf("outcome: found K_%d: %v (rounds=%d)\n", len(col.Clique), col.Clique, col.Rounds)
+		return nil
+	}
+	if err := distcolor.Verify(g, col.Colors, lists); err != nil {
+		return fmt.Errorf("OUTPUT INVALID: %w", err)
+	}
+	fmt.Printf("outcome: %s (verified)\n", col)
+	if *verbose {
+		for _, p := range col.Phases {
+			fmt.Printf("  %-28s %8d rounds\n", p.Name, p.Rounds)
+		}
+	}
+	return nil
+}
+
+func niceLists(g *graph.Graph, rng *rand.Rand) [][]int {
+	nw := local.NewNetwork(g)
+	out := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		size := g.Degree(v)
+		if size <= 2 || simplicial(nw, v) {
+			size++
+		}
+		if size < 1 {
+			size = 1
+		}
+		perm := rng.Perm(g.MaxDegree() + 4)
+		out[v] = perm[:size]
+	}
+	return out
+}
+
+func simplicial(nw *local.Network, v int) bool {
+	nbrs := nw.G.Neighbors(v)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if !nw.G.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func runRandomized(g *graph.Graph, rng *rand.Rand) (*distcolor.Coloring, error) {
+	nw := local.NewShuffledNetwork(g, rng)
+	lists := make([][]int, g.N())
+	for v := range lists {
+		perm := rng.Perm(g.MaxDegree() + 4)
+		lists[v] = perm[:g.Degree(v)+1]
+	}
+	ledger := &local.Ledger{}
+	colors, err := reduce.RandomizedListColor(nw, ledger, "randomized", lists, rng.Uint64(), 100000)
+	if err != nil {
+		return nil, err
+	}
+	if err := seqcolor.Verify(g, colors, lists); err != nil {
+		return nil, err
+	}
+	return &distcolor.Coloring{Colors: colors, Rounds: ledger.Rounds()}, nil
+}
+
+func printStats(g *graph.Graph) error {
+	fmt.Printf("degeneracy: %d\n", g.Degeneracy(nil).Degeneracy)
+	fmt.Printf("girth: %d\n", g.Girth(nil))
+	fmt.Printf("gallai forest: %v\n", g.IsGallaiForest(nil))
+	bip, _ := g.IsBipartite(nil)
+	fmt.Printf("bipartite: %v\n", bip)
+	if g.N() <= 5000 {
+		num, den, _ := density.Mad(g)
+		fmt.Printf("mad: %d/%d = %.3f\n", num, den, float64(num)/float64(den))
+	}
+	if g.N() <= 800 {
+		fmt.Printf("arboricity: %d\n", density.Arboricity(g))
+	}
+	return nil
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f)
+}

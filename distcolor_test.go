@@ -1,0 +1,95 @@
+package distcolor
+
+import (
+	"testing"
+
+	"math/rand/v2"
+
+	"distcolor/internal/gen"
+)
+
+func TestFacadePlanar6(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := gen.Apollonian(150, rng)
+	col, err := Planar6(g, nil, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, col.Colors, nil); err != nil {
+		t.Fatal(err)
+	}
+	if NumColors(col.Colors) > 6 {
+		t.Errorf("used %d colors", NumColors(col.Colors))
+	}
+	if col.Rounds <= 0 || len(col.Phases) == 0 {
+		t.Error("round accounting missing")
+	}
+}
+
+func TestFacadeSparseListColorCliqueOutcome(t *testing.T) {
+	g := gen.Complete(4)
+	col, err := SparseListColor(g, 3, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Clique == nil || col.Colors != nil {
+		t.Errorf("expected the clique outcome, got %v", col)
+	}
+	if col.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	g := gen.Apollonian(120, rng)
+	gpsCol, err := GoldbergPlotkinShannon7(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, gpsCol.Colors, nil); err != nil {
+		t.Fatal(err)
+	}
+	if NumColors(gpsCol.Colors) > 7 {
+		t.Error("GPS used more than 7 colors")
+	}
+
+	fu := gen.ForestUnion(120, 2, rng)
+	beCol, err := BarenboimElkin(fu, 2, 0.5, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(fu, beCol.Colors, nil); err != nil {
+		t.Fatal(err)
+	}
+	abbeCol, err := ArboricityColor(fu, 2, nil, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumColors(abbeCol.Colors) > 4 {
+		t.Errorf("Corollary 1.4 exceeded 2a colors: %d", NumColors(abbeCol.Colors))
+	}
+}
+
+func TestFacadeBuilderRoundTrip(t *testing.T) {
+	b := NewBuilder(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Graph()
+	col, err := SparseListColor(g, 3, UniformLists(4, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, col.Colors, UniformLists(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeHeawood(t *testing.T) {
+	if HeawoodNumber(1) != 6 {
+		t.Error("H(1) != 6")
+	}
+}

@@ -1,0 +1,56 @@
+// arboricity compares Corollary 1.4 (2a colors) with the Barenboim–Elkin
+// baseline (⌊(2+ε)a⌋+1 colors) on certified arboricity-a workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"distcolor"
+	"distcolor/internal/be"
+	"distcolor/internal/density"
+	"distcolor/internal/gen"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(7, 11))
+	fmt.Println("arboricity-a coloring: paper (2a) vs Barenboim–Elkin (⌊(2+ε)a⌋+1)")
+	fmt.Println()
+	for _, a := range []int{2, 3, 4} {
+		n := 800
+		g := gen.ForestUnion(n, a, rng)
+		if !density.ArboricityAtMost(g, a) {
+			log.Fatalf("generator broke the arboricity-%d promise", a)
+		}
+		fmt.Printf("union of %d random spanning forests: n=%d m=%d (arboricity ≤ %d certified by flow)\n",
+			a, g.N(), g.M(), a)
+
+		ours, err := distcolor.ArboricityColor(g, a, nil, distcolor.Options{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := distcolor.Verify(g, ours.Colors, nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  paper Cor 1.4 : %2d colors (guarantee %d) in %d rounds\n",
+			distcolor.NumColors(ours.Colors), 2*a, ours.Rounds)
+
+		for _, eps := range []float64{1.0, 0.5, 1 / float64(a+1)} {
+			bel, err := distcolor.BarenboimElkin(g, a, eps, distcolor.Options{Seed: 5})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := distcolor.Verify(g, bel.Colors, nil); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  BE ε=%.2f     : %2d colors (guarantee %d) in %d rounds\n",
+				eps, distcolor.NumColors(bel.Colors), be.Threshold(a, eps)+1, bel.Rounds)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The paper's guarantee 2a beats every BE guarantee (≥ 2a+1), at a")
+	fmt.Println("polylog round premium — exactly the trade the paper proves.")
+	fmt.Println("a = 1 (forests) is excluded: Linial's lower bound shows 2-coloring")
+	fmt.Println("a path needs Ω(n) rounds (see examples/lowerbound).")
+}

@@ -1,0 +1,68 @@
+// localmodel drives the LOCAL-model runtime directly: one goroutine per
+// node, synchronous rounds, explicit messages. It runs (1) knowledge
+// flooding — showing that r+1 rounds yield exactly the radius-r ball, the
+// equivalence every LOCAL algorithm is built on — and (2) the randomized
+// (deg+1)-list-coloring of the paper's Question 6.2 remark, reporting both
+// rounds and message traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"distcolor/internal/gen"
+	"distcolor/internal/local"
+	"distcolor/internal/reduce"
+	"distcolor/internal/seqcolor"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(99, 1))
+	g := gen.Grid(8, 8)
+	nw := local.NewShuffledNetwork(g, rng)
+	fmt.Printf("network: 8×8 grid, n=%d, m=%d, shuffled IDs\n\n", g.N(), g.M())
+
+	// --- 1. Ball collection by flooding (the LOCAL equivalence).
+	for _, radius := range []int{1, 2, 3} {
+		var lSync, lCentral local.Ledger
+		syncBalls, err := local.CollectBallsSync(nw, &lSync, "flood", radius)
+		if err != nil {
+			log.Fatal(err)
+		}
+		centralBalls := local.CollectBallsCentral(nw, &lCentral, "oracle", radius, nil)
+		same := true
+		for v := range syncBalls {
+			if fmt.Sprint(syncBalls[v]) != fmt.Sprint(centralBalls[v]) {
+				same = false
+				break
+			}
+		}
+		fmt.Printf("radius %d: flooding used %d rounds, %d messages; central oracle charged %d rounds; identical knowledge: %v\n",
+			radius, lSync.Rounds(), lSync.Messages(), lCentral.Rounds(), same)
+	}
+	fmt.Println("\n(r+1 rounds of real message passing produce exactly the induced")
+	fmt.Println("radius-r ball — so charging r+1 rounds for a centrally-computed ball")
+	fmt.Println("is the LOCAL model's standard simulation, not an approximation.)")
+
+	// --- 2. Randomized (deg+1)-list-coloring as genuine node programs.
+	fmt.Println()
+	lists := make([][]int, g.N())
+	for v := range lists {
+		perm := rng.Perm(g.MaxDegree() + 4)
+		lists[v] = perm[:g.Degree(v)+1]
+	}
+	var ledger local.Ledger
+	colors, err := reduce.RandomizedListColor(nw, &ledger, "randcolor", lists, 2024, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seqcolor.Verify(g, colors, lists); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("randomized (deg+1)-list-coloring: proper, from private lists,\n")
+	fmt.Printf("  %d rounds (≈ log n, matching the Question 6.2 remark)\n", ledger.Rounds())
+	fmt.Printf("  %d messages total, ≤ %d per round — CONGEST-sized traffic,\n",
+		ledger.Messages(), ledger.MaxRoundMessages())
+	fmt.Printf("  unlike the deterministic machinery, whose balls are LOCAL-sized.\n")
+}

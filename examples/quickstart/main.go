@@ -1,0 +1,54 @@
+// Quickstart: build a planar graph, 6-color it with the paper's algorithm
+// (Corollary 2.3(1)), and inspect the round ledger.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"distcolor"
+	"distcolor/internal/gen"
+)
+
+func main() {
+	// A random planar triangulation on 1000 vertices (Apollonian network):
+	// the canonical "hard" planar instance with mad ≈ 6.
+	rng := rand.New(rand.NewPCG(42, 0))
+	g := gen.Apollonian(1000, rng)
+	fmt.Printf("planar triangulation: %d vertices, %d edges (= 3n-6)\n", g.N(), g.M())
+
+	// Plain 6-coloring (palette {0..5}).
+	col, err := distcolor.Planar6(g, nil, distcolor.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := distcolor.Verify(g, col.Colors, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6-coloring: %s\n", col)
+
+	// The list-coloring version: every vertex gets its own 6 colors from a
+	// 14-color palette — the paper's algorithm handles this identically.
+	lists := make([][]int, g.N())
+	for v := range lists {
+		perm := rng.Perm(14)
+		lists[v] = perm[:6]
+	}
+	lcol, err := distcolor.Planar6(g, lists, distcolor.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := distcolor.Verify(g, lcol.Colors, lists); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6-list-coloring from private lists: verified, %d rounds\n", lcol.Rounds)
+
+	fmt.Println("\nwhere the LOCAL rounds go:")
+	for _, p := range col.Phases {
+		fmt.Printf("  %-24s %8d\n", p.Name, p.Rounds)
+	}
+	fmt.Println("\n(The ruling-forest phase dominates: its α = 2·c·log n + 2 radius")
+	fmt.Println("carries the paper's constant c = 12/log₂(6/5) ≈ 45.6 — the price of")
+	fmt.Println("the Lemma 3.1 progress guarantee.)")
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"distcolor/internal/gen"
+	"distcolor/internal/graph"
+)
+
+// Proposition 4.4's bound (|S|/12 low-degree vertices in G[S]) assumes the
+// sad set is computed at the paper's radius c·log n, where sadness means
+// "a radius-c·log n ball that is a Gallai tree of degree-d vertices". By
+// the Moore-bound argument inside its proof, such sets are empty (or tiny)
+// for any graph small enough to build — that emptiness IS Lemma 3.1's
+// point. The tests therefore check (a) at the paper radius the bound holds
+// (usually vacuously: S = ∅), and (b) at artificially small radii the
+// construction machinery itself (contraction, suppression, measurement)
+// behaves consistently; measured values at reduced radii are recorded by
+// experiment E11 without asserting the (inapplicable) bound.
+
+func TestSadAnalysisPaperRadiusBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	graphs := []struct {
+		name  string
+		build func() (*Fig4Stats, int)
+	}{
+		{"3-regular", func() (*Fig4Stats, int) {
+			g, err := gen.RandomRegular(200, 3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := SadAnalysis(g, 3, 2000) // ≥ paper radius for n=200
+			return &st, g.N()
+		}},
+		{"apollonian", func() (*Fig4Stats, int) {
+			g := gen.Apollonian(150, rng)
+			st := SadAnalysis(g, 6, 2000)
+			return &st, g.N()
+		}},
+		{"grid", func() (*Fig4Stats, int) {
+			g := gen.Grid(12, 12)
+			st := SadAnalysis(g, 4, 2000)
+			return &st, g.N()
+		}},
+	}
+	for _, tc := range graphs {
+		st, _ := tc.build()
+		if st.Sad > 0 && st.LowDegInS < st.Prop44Bound {
+			t.Errorf("%s: Prop 4.4 violated at paper radius: lowdeg=%d < %d (S=%d)",
+				tc.name, st.LowDegInS, st.Prop44Bound, st.Sad)
+		}
+	}
+}
+
+func TestSadAnalysisConstructionMechanics(t *testing.T) {
+	// Small-radius ablation on a 3-regular graph: everything is sad, G[S]
+	// is the whole graph; step 1 contracts its triangle local blocks, and
+	// the measured quantities must be internally consistent.
+	rng := rand.New(rand.NewPCG(2, 2))
+	g, err := gen.RandomRegular(200, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := SadAnalysis(g, 3, 1)
+	if st.Rich != 200 {
+		t.Errorf("all vertices rich, got %d", st.Rich)
+	}
+	if st.Sad == 0 {
+		t.Skip("sample had witnesses everywhere")
+	}
+	if st.HVertices == 0 || st.HEdges < 0 {
+		t.Error("H not built")
+	}
+	if st.HAvgDegree < 0 || (st.HVertices > 0 && st.HDeg2 > st.HVertices) {
+		t.Error("inconsistent H measurements")
+	}
+	t.Logf("radius-1 ablation: S=%d lowdeg=%d (bound would be %d) H: n=%d m=%d girth=%d avg=%.2f",
+		st.Sad, st.LowDegInS, st.Prop44Bound, st.HVertices, st.HEdges, st.HGirth, st.HAvgDegree)
+}
+
+func TestSadAnalysisCliqueContraction(t *testing.T) {
+	// A Gallai chain whose blocks are K4s linked by paths of poor-free
+	// vertices: with d=4 and radius 1, the middle K4s are sad and must be
+	// contracted to hubs in step 1.
+	rng := rand.New(rand.NewPCG(3, 3))
+	_ = rng
+	// chain of K4s sharing no vertices, linked by length-2 paths
+	k := 8
+	verts := k*4 + (k - 1)
+	bld := newChainOfK4s(k)
+	if bld.N() != verts {
+		t.Fatalf("construction size %d, want %d", bld.N(), verts)
+	}
+	st := SadAnalysis(bld, 4, 1)
+	if st.Sad > 0 && st.CliqueBlocks == 0 {
+		t.Error("sad K4 blocks were not contracted")
+	}
+}
+
+func TestSadAnalysisSaturatedRadiusEmptySad(t *testing.T) {
+	// With the default (large) radius on a planar triangulation, low-degree
+	// witnesses reach everyone: S should be empty.
+	rng := rand.New(rand.NewPCG(4, 4))
+	g := gen.Apollonian(150, rng)
+	st := SadAnalysis(g, 6, 1000)
+	if st.Sad != 0 {
+		t.Errorf("saturated radius should leave no sad vertices, got %d", st.Sad)
+	}
+	if st.Happy != st.Rich {
+		t.Errorf("all rich should be happy at saturation")
+	}
+}
+
+// newChainOfK4s builds k disjoint K4s, consecutive ones joined through a
+// single linking vertex (K4_i)-(link)-(K4_{i+1}).
+func newChainOfK4s(k int) *graph.Graph {
+	b := graph.NewBuilder(k*4 + (k - 1))
+	for i := 0; i < k; i++ {
+		base := i * 4
+		for x := 0; x < 4; x++ {
+			for y := x + 1; y < 4; y++ {
+				b.AddEdgeOK(base+x, base+y)
+			}
+		}
+	}
+	linkBase := k * 4
+	for i := 0; i+1 < k; i++ {
+		link := linkBase + i
+		b.AddEdgeOK(i*4+1, link)
+		b.AddEdgeOK(link, (i+1)*4)
+	}
+	return b.Graph()
+}

@@ -1,0 +1,258 @@
+// Package density computes exact sparseness measures of graphs: maximum
+// average degree (mad), densest subgraph, Nash–Williams arboricity,
+// pseudoarboricity, and bounded-outdegree orientations. These certify that
+// the generated workloads satisfy the hypotheses of the paper's theorems
+// (mad(G) ≤ d, arboricity a, etc.).
+//
+// All computations are exact and flow-based (Goldberg's construction),
+// following the parametric / Dinkelbach approach; no floating-point
+// thresholds are trusted anywhere.
+package density
+
+import (
+	"distcolor/internal/flow"
+	"distcolor/internal/graph"
+)
+
+// exceedsDensity reports whether some nonempty H ⊆ G has
+// 2·m_H·den − num·n_H ≥ 1, i.e. average degree strictly above num/den,
+// and returns such an H (as a vertex list) when it exists.
+//
+// Construction: source → edge-node (cap 2·den), edge-node → endpoints (∞),
+// vertex → sink (cap num). Then min cut = 2·den·m − max_H (2·den·m_H −
+// num·n_H), with the empty H contributing 0, so the strict test ≥ 1 is
+// unaffected by the empty set.
+func exceedsDensity(g *graph.Graph, num, den int64) (bool, []int) {
+	n := g.N()
+	edges := g.Edges()
+	m := len(edges)
+	// nodes: 0..n-1 vertices, n..n+m-1 edges, s = n+m, t = n+m+1
+	f := flow.New(n + m + 2)
+	s, t := n+m, n+m+1
+	for i, e := range edges {
+		f.AddArc(s, n+i, 2*den)
+		f.AddArc(n+i, e[0], flow.Inf)
+		f.AddArc(n+i, e[1], flow.Inf)
+	}
+	for v := 0; v < n; v++ {
+		f.AddArc(v, t, num)
+	}
+	cut := f.MaxFlow(s, t)
+	maxVal := 2*den*int64(m) - cut
+	if maxVal < 1 {
+		return false, nil
+	}
+	side := f.MinCutSide(s)
+	var h []int
+	for v := 0; v < n; v++ {
+		if side[v] {
+			h = append(h, v)
+		}
+	}
+	return true, h
+}
+
+// MadExceeds reports whether mad(G) > num/den (exact rational comparison),
+// returning a witness subgraph when it does.
+func MadExceeds(g *graph.Graph, num, den int64) (bool, []int) {
+	if den <= 0 {
+		panic("density: nonpositive denominator")
+	}
+	return exceedsDensity(g, num, den)
+}
+
+// MadAtMost reports whether mad(G) ≤ d for an integer d.
+func MadAtMost(g *graph.Graph, d int) bool {
+	ok, _ := MadExceeds(g, int64(d), 1)
+	return !ok
+}
+
+// subgraphStats returns (n_H, m_H) of the induced subgraph on verts.
+func subgraphStats(g *graph.Graph, verts []int) (int64, int64) {
+	in := make(map[int]bool, len(verts))
+	for _, v := range verts {
+		in[v] = true
+	}
+	var m int64
+	for _, v := range verts {
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v && in[int(w)] {
+				m++
+			}
+		}
+	}
+	return int64(len(verts)), m
+}
+
+// Mad computes mad(G) exactly as a reduced fraction num/den, together with a
+// subgraph achieving it. For the empty graph it returns (0, 1, nil).
+//
+// Dinkelbach iteration: start from H = G; repeatedly ask for a subgraph
+// strictly denser than the current best. Each round strictly increases the
+// value among O(n²) possible fractions and in practice converges in a
+// handful of iterations.
+func Mad(g *graph.Graph) (num, den int64, witness []int) {
+	if g.N() == 0 || g.M() == 0 {
+		return 0, 1, nil
+	}
+	// current best: whole graph
+	best := make([]int, g.N())
+	for i := range best {
+		best[i] = i
+	}
+	nH, mH := int64(g.N()), int64(g.M())
+	num, den = 2*mH, nH
+	for {
+		ok, h := exceedsDensity(g, num, den)
+		if !ok {
+			break
+		}
+		nH, mH = subgraphStats(g, h)
+		if nH == 0 {
+			break // defensive; cannot happen when ok
+		}
+		best = h
+		num, den = 2*mH, nH
+	}
+	d := gcd(num, den)
+	return num / d, den / d, best
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// MadCeil returns ⌈mad(G)⌉.
+func MadCeil(g *graph.Graph) int {
+	num, den, _ := Mad(g)
+	return int((num + den - 1) / den)
+}
+
+// OrientOutdegree finds an orientation of G with maximum outdegree ≤ k, if
+// one exists. The result maps each edge (in g.Edges() order) to its tail: 0
+// means oriented u→v, 1 means v→u. Exists iff every subgraph H has
+// m_H ≤ k·n_H (pseudoarboricity ≤ k).
+func OrientOutdegree(g *graph.Graph, k int) ([]int, bool) {
+	n := g.N()
+	edges := g.Edges()
+	m := len(edges)
+	f := flow.New(n + m + 2)
+	s, t := n+m, n+m+1
+	type arcPair struct{ a0, a1 int }
+	arcs := make([]arcPair, m)
+	for i, e := range edges {
+		f.AddArc(s, n+i, 1)
+		arcs[i] = arcPair{
+			a0: f.AddArc(n+i, e[0], 1),
+			a1: f.AddArc(n+i, e[1], 1),
+		}
+	}
+	for v := 0; v < n; v++ {
+		f.AddArc(v, t, int64(k))
+	}
+	if f.MaxFlow(s, t) != int64(m) {
+		return nil, false
+	}
+	orient := make([]int, m)
+	for i := range edges {
+		if f.Flow(arcs[i].a0) > 0 {
+			orient[i] = 0 // charged to endpoint u ⇒ u is the tail
+		} else if f.Flow(arcs[i].a1) > 0 {
+			orient[i] = 1
+		}
+	}
+	return orient, true
+}
+
+// Pseudoarboricity returns the smallest k admitting an outdegree-≤k
+// orientation, via binary search on k.
+func Pseudoarboricity(g *graph.Graph) int {
+	if g.M() == 0 {
+		return 0
+	}
+	lo, hi := 1, g.MaxDegree()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := OrientOutdegree(g, mid); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// arbExceedsAnchored reports whether some H containing vertex r has
+// m_H > k(n_H − 1), via a single anchored min-cut (s→r arc of infinite
+// capacity forces r onto the source side).
+func arbExceedsAnchored(g *graph.Graph, k int64, r int) bool {
+	n := g.N()
+	edges := g.Edges()
+	m := len(edges)
+	f := flow.New(n + m + 2)
+	s, t := n+m, n+m+1
+	for i, e := range edges {
+		f.AddArc(s, n+i, 1)
+		f.AddArc(n+i, e[0], flow.Inf)
+		f.AddArc(n+i, e[1], flow.Inf)
+	}
+	for v := 0; v < n; v++ {
+		f.AddArc(v, t, k)
+	}
+	f.AddArc(s, r, flow.Inf)
+	cut := f.MaxFlow(s, t)
+	// max over H ∋ r of (m_H − k·n_H) = m − cut; condition m_H − k·n_H ≥ 1−k.
+	return int64(m)-cut >= 1-k
+}
+
+// Arboricity computes the exact Nash–Williams arboricity
+// a(G) = max_H ⌈m_H/(n_H−1)⌉. It first computes the pseudoarboricity p
+// (a ∈ {p, p+1}), then decides between the two values with anchored cuts
+// (a > p iff some subgraph containing some vertex r violates the forest
+// bound for p). Worst case O(n) max-flow calls; intended for certification
+// and tests, not inner loops.
+func Arboricity(g *graph.Graph) int {
+	if g.M() == 0 {
+		return 0
+	}
+	p := Pseudoarboricity(g)
+	// a ≥ p always? Not in general (a ≥ p holds: forests are outdeg-1
+	// orientable). a ≤ p+1 (Picard–Queyranne folklore). Decide a > p.
+	for r := 0; r < g.N(); r++ {
+		if g.Degree(r) == 0 {
+			continue
+		}
+		if arbExceedsAnchored(g, int64(p), r) {
+			return p + 1
+		}
+	}
+	return p
+}
+
+// ArboricityAtMost reports whether a(G) ≤ k exactly.
+func ArboricityAtMost(g *graph.Graph, k int) bool {
+	if g.M() == 0 {
+		return true
+	}
+	if k <= 0 {
+		return false
+	}
+	for r := 0; r < g.N(); r++ {
+		if g.Degree(r) == 0 {
+			continue
+		}
+		if arbExceedsAnchored(g, int64(k), r) {
+			return false
+		}
+	}
+	return true
+}

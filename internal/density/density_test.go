@@ -1,0 +1,274 @@
+package density
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"distcolor/internal/graph"
+)
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdgeOK(i, (i+1)%n)
+	}
+	return b.Graph()
+}
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdgeOK(i, j)
+		}
+	}
+	return b.Graph()
+}
+
+func path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdgeOK(i, i+1)
+	}
+	return b.Graph()
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdgeOK(i, j)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// bruteMad enumerates all vertex subsets: exact mad as a fraction.
+func bruteMad(g *graph.Graph) (int64, int64) {
+	n := g.N()
+	bestNum, bestDen := int64(0), int64(1)
+	for mask := 1; mask < (1 << n); mask++ {
+		var nH, mH int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) == 0 {
+				continue
+			}
+			nH++
+			for _, w := range g.Neighbors(v) {
+				if int(w) > v && mask&(1<<int(w)) != 0 {
+					mH++
+				}
+			}
+		}
+		// compare 2mH/nH with bestNum/bestDen
+		if 2*mH*bestDen > bestNum*nH {
+			bestNum, bestDen = 2*mH, nH
+		}
+	}
+	return bestNum, bestDen
+}
+
+// bruteArboricity via Nash–Williams formula by subset enumeration.
+func bruteArboricity(g *graph.Graph) int {
+	n := g.N()
+	best := 0
+	for mask := 1; mask < (1 << n); mask++ {
+		var nH, mH int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) == 0 {
+				continue
+			}
+			nH++
+			for _, w := range g.Neighbors(v) {
+				if int(w) > v && mask&(1<<int(w)) != 0 {
+					mH++
+				}
+			}
+		}
+		if nH >= 2 {
+			a := (mH + nH - 2) / (nH - 1) // ⌈mH/(nH−1)⌉
+			if a > best {
+				best = a
+			}
+		}
+	}
+	return best
+}
+
+func TestMadKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name     string
+		g        *graph.Graph
+		num, den int64
+	}{
+		{"path5", path(5), 8, 5},  // 2·4/5
+		{"C6", cycle(6), 2, 1},    // 2-regular
+		{"K4", complete(4), 3, 1}, // 3-regular
+		{"K5", complete(5), 4, 1}, // 4-regular
+		{"empty", graph.MustNew(4, nil), 0, 1},
+	}
+	for _, c := range cases {
+		num, den, _ := Mad(c.g)
+		if num != c.num || den != c.den {
+			t.Errorf("%s: mad=%d/%d, want %d/%d", c.name, num, den, c.num, c.den)
+		}
+	}
+}
+
+func TestMadWitnessIsDensest(t *testing.T) {
+	// K4 with a long pendant path: mad must be 3, witness = the K4.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdgeOK(i, j)
+		}
+	}
+	for i := 3; i < 9; i++ {
+		b.AddEdgeOK(i, i+1)
+	}
+	g := b.Graph()
+	num, den, w := Mad(g)
+	if num != 3 || den != 1 {
+		t.Fatalf("mad=%d/%d, want 3/1", num, den)
+	}
+	if len(w) != 4 {
+		t.Errorf("witness size=%d, want 4 (the K4)", len(w))
+	}
+}
+
+func TestMadBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 9, 0.3)
+		num, den, _ := Mad(g)
+		bn, bd := bruteMad(g)
+		if num*bd != bn*den {
+			t.Fatalf("trial %d: mad=%d/%d, brute=%d/%d", trial, num, den, bn, bd)
+		}
+	}
+}
+
+func TestMadExceeds(t *testing.T) {
+	g := complete(4) // mad exactly 3
+	if ok, _ := MadExceeds(g, 3, 1); ok {
+		t.Error("K4 should not exceed 3")
+	}
+	ok, h := MadExceeds(g, 5, 2) // 2.5 < 3
+	if !ok {
+		t.Error("K4 should exceed 5/2")
+	}
+	if len(h) != 4 {
+		t.Errorf("witness=%v, want all of K4", h)
+	}
+	if !MadAtMost(cycle(9), 2) {
+		t.Error("C9 has mad 2")
+	}
+	if MadAtMost(complete(5), 3) {
+		t.Error("K5 has mad 4 > 3")
+	}
+}
+
+func TestOrientOutdegree(t *testing.T) {
+	g := cycle(6)
+	orient, ok := OrientOutdegree(g, 1)
+	if !ok {
+		t.Fatal("cycle must have outdeg-1 orientation")
+	}
+	edges := g.Edges()
+	out := make([]int, g.N())
+	for i, e := range edges {
+		if orient[i] == 0 {
+			out[e[0]]++
+		} else {
+			out[e[1]]++
+		}
+	}
+	for v, o := range out {
+		if o > 1 {
+			t.Errorf("vertex %d outdeg=%d > 1", v, o)
+		}
+	}
+	if _, ok := OrientOutdegree(complete(4), 1); ok {
+		t.Error("K4 has m=6 > 1·4, no outdeg-1 orientation")
+	}
+	if _, ok := OrientOutdegree(complete(4), 2); !ok {
+		t.Error("K4 has an outdeg-2 orientation (6 ≤ 2·4)")
+	}
+}
+
+func TestPseudoarboricity(t *testing.T) {
+	if p := Pseudoarboricity(cycle(8)); p != 1 {
+		t.Errorf("cycle pseudoarboricity=%d, want 1", p)
+	}
+	if p := Pseudoarboricity(complete(5)); p != 2 {
+		t.Errorf("K5 pseudoarboricity=%d, want 2 (10 edges ≤ 2·5)", p)
+	}
+	if p := Pseudoarboricity(path(7)); p != 1 {
+		t.Errorf("path pseudoarboricity=%d, want 1", p)
+	}
+}
+
+func TestArboricityKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"tree", path(8), 1},
+		{"cycle", cycle(9), 2}, // ⌈9/8⌉ = 2
+		{"K4", complete(4), 2}, // ⌈6/3⌉
+		{"K5", complete(5), 3}, // ⌈10/4⌉
+		{"K6", complete(6), 3}, // ⌈15/5⌉
+		{"edgeless", graph.MustNew(5, nil), 0},
+	}
+	for _, c := range cases {
+		if got := Arboricity(c.g); got != c.want {
+			t.Errorf("%s: arboricity=%d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestArboricityBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 8, 0.35)
+		if g.M() == 0 {
+			continue
+		}
+		got := Arboricity(g)
+		want := bruteArboricity(g)
+		if got != want {
+			t.Fatalf("trial %d: arboricity=%d, brute=%d", trial, got, want)
+		}
+		if !ArboricityAtMost(g, want) || ArboricityAtMost(g, want-1) {
+			t.Fatalf("trial %d: ArboricityAtMost inconsistent at %d", trial, want)
+		}
+	}
+}
+
+func TestMadCeil(t *testing.T) {
+	if c := MadCeil(path(5)); c != 2 {
+		t.Errorf("path MadCeil=%d, want 2", c)
+	}
+	if c := MadCeil(complete(4)); c != 3 {
+		t.Errorf("K4 MadCeil=%d, want 3", c)
+	}
+}
+
+func TestMadArboricityRelation(t *testing.T) {
+	// 2a−2 ≤ ⌈mad⌉ ≤ 2a (from the paper §1.3).
+	rng := rand.New(rand.NewPCG(31, 37))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 10, 0.3)
+		if g.M() == 0 {
+			continue
+		}
+		a := Arboricity(g)
+		mc := MadCeil(g)
+		if mc < 2*a-2 || mc > 2*a {
+			t.Fatalf("trial %d: ⌈mad⌉=%d outside [2a−2, 2a] with a=%d", trial, mc, a)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package density
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"distcolor/internal/gen"
+)
+
+// TestProposition22PlanarGirthMadBound verifies the paper's Proposition 2.2
+// on generated planar families: an n-vertex planar graph of girth ≥ g has
+// mad < 2g/(g−2). This is what routes Corollary 2.3's three items into
+// Theorem 1.3 with d = 6, 4, 3.
+func TestProposition22PlanarGirthMadBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 22))
+	// girth 3 family: triangulations ⇒ mad < 6
+	tri := gen.Apollonian(200, rng)
+	if num, den, _ := Mad(tri); num >= 6*den {
+		t.Errorf("triangulation: mad=%d/%d ≥ 6", num, den)
+	}
+	// girth 4 family: grids ⇒ mad < 4
+	grid := gen.Grid(14, 15)
+	if num, den, _ := Mad(grid); num >= 4*den {
+		t.Errorf("grid: mad=%d/%d ≥ 4", num, den)
+	}
+	// girth 6 family: subdivided triangulations ⇒ mad < 3
+	sub := gen.Subdivide(gen.Apollonian(60, rng), 1)
+	if g := sub.Girth(nil); g < 6 {
+		t.Fatalf("subdivided girth=%d", g)
+	}
+	if num, den, _ := Mad(sub); num >= 3*den {
+		t.Errorf("girth-6 planar: mad=%d/%d ≥ 3", num, den)
+	}
+	// girth 8 family: twice-subdivided triangulations... girth multiplies:
+	// 3·(t+1) with t=2 ⇒ 9 ≥ 8 ⇒ mad < 2·8/6 = 8/3
+	sub2 := gen.Subdivide(gen.Apollonian(30, rng), 2)
+	if g := sub2.Girth(nil); g < 8 {
+		t.Fatalf("twice-subdivided girth=%d", g)
+	}
+	if num, den, _ := Mad(sub2); 3*num >= 8*den {
+		t.Errorf("girth-8 planar: mad=%d/%d ≥ 8/3", num, den)
+	}
+	// cylinder grids (girth 4, planar): mad < 4
+	cyl := gen.CylinderGrid(5, 30)
+	if num, den, _ := Mad(cyl); num >= 4*den {
+		t.Errorf("cylinder: mad=%d/%d ≥ 4", num, den)
+	}
+}
+
+// TestHeawoodMadBound checks the Euler-genus analogue used by
+// Corollary 2.11: a toroidal graph (Euler genus ≤ 2) has mad ≤
+// (5+√(24·2+1))/2 = 6, with equality for 6-regular triangulations.
+func TestHeawoodMadBound(t *testing.T) {
+	g := gen.CyclePower(40, 3) // 6-regular torus triangulation
+	num, den, _ := Mad(g)
+	if num != 6*den {
+		t.Errorf("torus triangulation: mad=%d/%d, want exactly 6", num, den)
+	}
+	kl := gen.KleinGrid(7, 9) // 4-regular quadrangulation
+	num, den, _ = Mad(kl)
+	if num != 4*den {
+		t.Errorf("Klein quadrangulation: mad=%d/%d, want exactly 4", num, den)
+	}
+}

@@ -1,0 +1,194 @@
+// Package embed verifies surface embeddings given as face complexes: a
+// graph plus a list of facial walks. It checks the closed-surface
+// conditions (every edge on exactly two faces, every vertex link a single
+// cycle), computes the Euler characteristic V−E+F, and decides
+// orientability by consistently orienting the faces.
+//
+// These are the certificates behind the paper's constructions: the
+// quadrangulated Klein-bottle grids G(k,l) of Figure 2 (Euler characteristic
+// 0, non-orientable), the triangulated-torus circulants C_n(1,2,3)
+// substituting Figure 3 (characteristic 0, orientable), and the stacked
+// planar triangulations (characteristic 2: the sphere).
+package embed
+
+import (
+	"fmt"
+
+	"distcolor/internal/graph"
+)
+
+// Surface summarizes a verified closed-surface embedding.
+type Surface struct {
+	EulerCharacteristic int
+	Orientable          bool
+	Faces               int
+}
+
+// Genus returns the (orientable or non-orientable) genus: for orientable
+// surfaces χ = 2−2g; otherwise χ = 2−k for the non-orientable genus k.
+// EulerGenus returns 2−χ in both cases.
+func (s Surface) EulerGenus() int { return 2 - s.EulerCharacteristic }
+
+// dart is a directed edge occurrence in a facial walk.
+type dart struct{ u, v int }
+
+// Check verifies that faces describe a closed-surface embedding of g
+// (which must be connected) and returns the surface data. Each face is a
+// cyclic vertex walk (consecutive entries adjacent, last wraps to first).
+func Check(g *graph.Graph, faces [][]int) (Surface, error) {
+	var s Surface
+	if !g.IsConnected(nil) {
+		return s, fmt.Errorf("embed: graph not connected")
+	}
+	// Count each directed dart's uses over all face walks.
+	dartUse := map[dart][]int{} // dart -> face indices (signed use below)
+	for fi, f := range faces {
+		if len(f) < 3 {
+			return s, fmt.Errorf("embed: face %d too short", fi)
+		}
+		for i := range f {
+			u, v := f[i], f[(i+1)%len(f)]
+			if !g.HasEdge(u, v) {
+				return s, fmt.Errorf("embed: face %d uses non-edge (%d,%d)", fi, u, v)
+			}
+			dartUse[dart{u, v}] = append(dartUse[dart{u, v}], fi)
+		}
+	}
+	// Closed surface: each undirected edge is used exactly twice in total.
+	for _, e := range g.Edges() {
+		uses := len(dartUse[dart{e[0], e[1]}]) + len(dartUse[dart{e[1], e[0]}])
+		if uses != 2 {
+			return s, fmt.Errorf("embed: edge %v on %d face sides, want 2", e, uses)
+		}
+	}
+	// Vertex links: for each vertex the (prev, next) corners stitch into a
+	// single cycle over its neighbors.
+	if err := checkLinks(g, faces); err != nil {
+		return s, err
+	}
+	// Orientability: 2-color faces (keep/flip) so that every edge is
+	// traversed once in each direction; constraints propagate by BFS.
+	orientable, err := checkOrientable(g, faces, dartUse)
+	if err != nil {
+		return s, err
+	}
+	s.Faces = len(faces)
+	s.EulerCharacteristic = g.N() - g.M() + len(faces)
+	s.Orientable = orientable
+	return s, nil
+}
+
+func checkLinks(g *graph.Graph, faces [][]int) error {
+	// link edges per vertex: each face corner (a, v, b) adds a link edge
+	// {a, b} at v. The link must be a single cycle covering deg(v) corners.
+	linkEdges := make(map[int][][2]int)
+	for _, f := range faces {
+		k := len(f)
+		for i := range f {
+			a, v, b := f[(i+k-1)%k], f[i], f[(i+1)%k]
+			linkEdges[v] = append(linkEdges[v], [2]int{a, b})
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		edges := linkEdges[v]
+		if len(edges) != g.Degree(v) {
+			return fmt.Errorf("embed: vertex %d has %d corners, degree %d", v, len(edges), g.Degree(v))
+		}
+		// multigraph on neighbors; must be a single cycle (2-regular,
+		// connected).
+		deg := map[int]int{}
+		adj := map[int][]int{}
+		for _, e := range edges {
+			deg[e[0]]++
+			deg[e[1]]++
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+		for nb, d := range deg {
+			if d != 2 {
+				return fmt.Errorf("embed: link of %d not 2-regular at neighbor %d", v, nb)
+			}
+		}
+		if len(deg) == 0 {
+			continue
+		}
+		// connectivity of the link
+		start := edges[0][0]
+		seen := map[int]bool{start: true}
+		queue := []int{start}
+		for head := 0; head < len(queue); head++ {
+			for _, nb := range adj[queue[head]] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if len(seen) != len(deg) {
+			return fmt.Errorf("embed: link of %d disconnected (pinch point)", v)
+		}
+	}
+	return nil
+}
+
+func checkOrientable(g *graph.Graph, faces [][]int, dartUse map[dart][]int) (bool, error) {
+	// Build face-adjacency constraints: faces f1, f2 sharing edge {u,v}:
+	// same-direction darts ⇒ opposite orientation flips; opposite darts ⇒
+	// same flips. 2-color; contradiction ⇒ non-orientable.
+	flip := make([]int, len(faces)) // -1 unknown, 0 keep, 1 flip
+	for i := range flip {
+		flip[i] = -1
+	}
+	type constraint struct {
+		f1, f2 int
+		same   bool
+	}
+	var constraints []constraint
+	for _, e := range g.Edges() {
+		fwd := dartUse[dart{e[0], e[1]}]
+		bwd := dartUse[dart{e[1], e[0]}]
+		switch {
+		case len(fwd) == 2:
+			constraints = append(constraints, constraint{fwd[0], fwd[1], false})
+		case len(bwd) == 2:
+			constraints = append(constraints, constraint{bwd[0], bwd[1], false})
+		case len(fwd) == 1 && len(bwd) == 1:
+			constraints = append(constraints, constraint{fwd[0], bwd[0], true})
+		default:
+			return false, fmt.Errorf("embed: edge %v incidence corrupt", e)
+		}
+	}
+	adj := make(map[int][]constraint)
+	for _, c := range constraints {
+		adj[c.f1] = append(adj[c.f1], c)
+		adj[c.f2] = append(adj[c.f2], constraint{c.f2, c.f1, c.same})
+	}
+	orientable := true
+	for f := range faces {
+		if flip[f] != -1 {
+			continue
+		}
+		flip[f] = 0
+		queue := []int{f}
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			for _, c := range adj[cur] {
+				want := flip[cur]
+				if !c.same {
+					want = 1 - want
+				}
+				other := c.f2
+				if other == cur {
+					other = c.f1
+				}
+				if flip[other] == -1 {
+					flip[other] = want
+					queue = append(queue, other)
+				} else if flip[other] != want {
+					orientable = false
+				}
+			}
+		}
+	}
+	return orientable, nil
+}

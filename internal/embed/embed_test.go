@@ -1,0 +1,134 @@
+package embed
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"distcolor/internal/gen"
+	"distcolor/internal/graph"
+)
+
+func TestTetrahedronSphere(t *testing.T) {
+	g := gen.Complete(4)
+	faces := [][]int{{0, 1, 2}, {0, 3, 1}, {1, 3, 2}, {2, 3, 0}}
+	s, err := Check(g, faces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EulerCharacteristic != 2 || !s.Orientable {
+		t.Errorf("tetrahedron: χ=%d orientable=%v, want 2/true", s.EulerCharacteristic, s.Orientable)
+	}
+	if s.EulerGenus() != 0 {
+		t.Errorf("sphere genus=%d", s.EulerGenus())
+	}
+}
+
+func TestCubeSphere(t *testing.T) {
+	// cube graph: vertices 0..7 as 3-bit strings, edges between bit flips
+	b := graph.NewBuilder(8)
+	for v := 0; v < 8; v++ {
+		for bit := 0; bit < 3; bit++ {
+			b.AddEdgeOK(v, v^(1<<bit))
+		}
+	}
+	g := b.Graph()
+	faces := [][]int{
+		{0, 1, 3, 2}, {4, 6, 7, 5}, // bottom/top (z fixed)
+		{0, 4, 5, 1}, {2, 3, 7, 6}, // y fixed
+		{0, 2, 6, 4}, {1, 5, 7, 3}, // x fixed
+	}
+	s, err := Check(g, faces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EulerCharacteristic != 2 || !s.Orientable {
+		t.Errorf("cube: χ=%d orientable=%v", s.EulerCharacteristic, s.Orientable)
+	}
+}
+
+func TestTorusGridEmbedding(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{{3, 3}, {4, 5}, {5, 7}} {
+		g := gen.TorusGrid(tc.r, tc.c)
+		s, err := Check(g, gen.TorusGridFaces(tc.r, tc.c))
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.r, tc.c, err)
+		}
+		if s.EulerCharacteristic != 0 {
+			t.Errorf("%dx%d: χ=%d, want 0", tc.r, tc.c, s.EulerCharacteristic)
+		}
+		if !s.Orientable {
+			t.Errorf("%dx%d: torus must be orientable", tc.r, tc.c)
+		}
+	}
+}
+
+func TestKleinGridEmbedding(t *testing.T) {
+	for _, tc := range []struct{ k, l int }{{5, 5}, {5, 7}, {7, 7}, {4, 6}} {
+		g := gen.KleinGrid(tc.k, tc.l)
+		s, err := Check(g, gen.KleinGridFaces(tc.k, tc.l))
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.k, tc.l, err)
+		}
+		if s.EulerCharacteristic != 0 {
+			t.Errorf("%dx%d: χ=%d, want 0 (Klein bottle)", tc.k, tc.l, s.EulerCharacteristic)
+		}
+		if s.Orientable {
+			t.Errorf("%dx%d: Klein bottle must be non-orientable", tc.k, tc.l)
+		}
+	}
+}
+
+func TestCyclePower3TorusEmbedding(t *testing.T) {
+	// Figure 3 substitute: C_n(1,2,3) is a triangulation of the torus.
+	for _, n := range []int{13, 17, 21, 40} {
+		g := gen.CyclePower(n, 3)
+		s, err := Check(g, gen.CyclePower3Faces(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if s.EulerCharacteristic != 0 || !s.Orientable {
+			t.Errorf("n=%d: χ=%d orientable=%v, want torus (0, true)", n, s.EulerCharacteristic, s.Orientable)
+		}
+		if s.Faces != 2*n {
+			t.Errorf("n=%d: %d faces, want %d", n, s.Faces, 2*n)
+		}
+	}
+}
+
+func TestStackedTriangulationsAreSpheres(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{3, 4, 10, 60} {
+		g, faces := gen.ApollonianFaces(n, rng)
+		s, err := Check(g, faces)
+		if err != nil {
+			t.Fatalf("apollonian n=%d: %v", n, err)
+		}
+		if s.EulerCharacteristic != 2 || !s.Orientable {
+			t.Errorf("apollonian n=%d: not a sphere (χ=%d)", n, s.EulerCharacteristic)
+		}
+	}
+	for _, n := range []int{5, 9, 30} {
+		g, faces := gen.PathPower3Faces(n)
+		s, err := Check(g, faces)
+		if err != nil {
+			t.Fatalf("pathpower n=%d: %v", n, err)
+		}
+		if s.EulerCharacteristic != 2 || !s.Orientable {
+			t.Errorf("pathpower n=%d: not a sphere — planarity certificate failed", n)
+		}
+	}
+}
+
+func TestCheckRejectsBadComplex(t *testing.T) {
+	g := gen.Complete(4)
+	// missing one face: edge counts off
+	faces := [][]int{{0, 1, 2}, {0, 3, 1}, {1, 3, 2}}
+	if _, err := Check(g, faces); err == nil {
+		t.Error("incomplete complex accepted")
+	}
+	// face with a non-edge
+	g2 := gen.Cycle(4)
+	if _, err := Check(g2, [][]int{{0, 1, 2, 3}, {0, 2, 1, 3}}); err == nil {
+		t.Error("non-edge face accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuick executes every experiment end to end at Quick scale: any
+// violated paper claim panics or produces a MISMATCH note.
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not -short")
+	}
+	sections := All(Quick)
+	if len(sections) != 19 {
+		t.Fatalf("%d sections, want 19", len(sections))
+	}
+	ids := map[string]bool{}
+	for _, s := range sections {
+		if s.ID == "" || s.Title == "" || s.Claim == "" {
+			t.Errorf("section %q incomplete", s.ID)
+		}
+		if ids[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		ids[s.ID] = true
+		md := s.Markdown()
+		if !strings.Contains(md, "## "+s.ID) {
+			t.Errorf("section %s markdown malformed", s.ID)
+		}
+		for _, n := range s.Notes {
+			if strings.Contains(n, "MISMATCH") {
+				t.Errorf("section %s reports a claim violation: %s", s.ID, n)
+			}
+		}
+		if len(s.Rows) < 2 {
+			t.Errorf("section %s has no table", s.ID)
+		}
+	}
+}
+
+func TestSectionMarkdownShape(t *testing.T) {
+	s := &Section{ID: "EX", Title: "t", Claim: "c", Rows: []string{"| a |", "|---|"}}
+	md := s.Markdown()
+	if !strings.HasPrefix(md, "## EX — t") {
+		t.Errorf("markdown prefix wrong: %q", md[:20])
+	}
+}

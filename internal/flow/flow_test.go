@@ -1,0 +1,101 @@
+package flow
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestMaxFlowTiny(t *testing.T) {
+	// classic diamond: s=0, t=3
+	f := New(4)
+	f.AddArc(0, 1, 3)
+	f.AddArc(0, 2, 2)
+	f.AddArc(1, 2, 5)
+	f.AddArc(1, 3, 2)
+	f.AddArc(2, 3, 3)
+	if got := f.MaxFlow(0, 3); got != 5 {
+		t.Errorf("maxflow=%d, want 5", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	f := New(4)
+	f.AddArc(0, 1, 7)
+	if got := f.MaxFlow(0, 3); got != 0 {
+		t.Errorf("maxflow=%d, want 0", got)
+	}
+}
+
+func TestMaxFlowParallelPaths(t *testing.T) {
+	f := New(6)
+	// two disjoint s-t paths with caps 4 and 6
+	f.AddArc(0, 1, 4)
+	f.AddArc(1, 5, 4)
+	f.AddArc(0, 2, 6)
+	f.AddArc(2, 5, 6)
+	if got := f.MaxFlow(0, 5); got != 10 {
+		t.Errorf("maxflow=%d, want 10", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	f := New(4)
+	a := f.AddArc(0, 1, 1)
+	f.AddArc(1, 2, 10)
+	f.AddArc(2, 3, 10)
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("maxflow=%d, want 1", got)
+	}
+	side := f.MinCutSide(0)
+	if !side[0] || side[1] || side[2] || side[3] {
+		t.Errorf("cut side wrong: %v", side)
+	}
+	if f.Flow(a) != 1 {
+		t.Errorf("arc flow=%d, want 1", f.Flow(a))
+	}
+}
+
+// bruteMinCut enumerates all s-t cuts for tiny networks.
+func bruteMinCut(n int, arcs [][3]int64, s, t int) int64 {
+	best := int64(1) << 60
+	for mask := 0; mask < (1 << n); mask++ {
+		if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+			continue
+		}
+		var cut int64
+		for _, a := range arcs {
+			u, v, c := int(a[0]), int(a[1]), a[2]
+			if mask&(1<<u) != 0 && mask&(1<<v) == 0 {
+				cut += c
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func TestMaxFlowEqualsBruteMinCut(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(6)
+		var arcs [][3]int64
+		f := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					c := int64(rng.IntN(8))
+					arcs = append(arcs, [3]int64{int64(u), int64(v), c})
+					f.AddArc(u, v, c)
+				}
+			}
+		}
+		s, tt := 0, n-1
+		got := f.MaxFlow(s, tt)
+		want := bruteMinCut(n, arcs, s, tt)
+		if got != want {
+			t.Fatalf("trial %d: maxflow=%d, brute mincut=%d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"distcolor/internal/graph"
+)
+
+// TorusGridFaces returns the quadrilateral faces of TorusGrid(r, c): the
+// r·c unit squares. Together with embed.Check this certifies the torus
+// embedding (Euler characteristic 0, orientable).
+func TorusGridFaces(r, c int) [][]int {
+	id := func(i, j int) int { return (i%r+r)%r*c + (j%c+c)%c }
+	faces := make([][]int, 0, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			faces = append(faces, []int{id(i, j), id(i+1, j), id(i+1, j+1), id(i, j+1)})
+		}
+	}
+	return faces
+}
+
+// KleinGridFaces returns the quadrilateral faces of KleinGrid(k, l),
+// including the seam squares across the orientation-reversing
+// identification. With embed.Check this certifies the Klein-bottle
+// embedding (Euler characteristic 0, non-orientable) of Figure 2.
+func KleinGridFaces(k, l int) [][]int {
+	id := func(i, j int) int { return (i%k+k)%k*l + j }
+	faces := make([][]int, 0, k*l)
+	for i := 0; i < k; i++ {
+		for j := 0; j+1 < l; j++ {
+			faces = append(faces, []int{id(i, j), id(i+1, j), id(i+1, j+1), id(i, j+1)})
+		}
+		// seam square between column l-1 and (flipped) column 0
+		faces = append(faces, []int{
+			id(i, l-1), id(i+1, l-1), id(k-2-i, 0), id(k-1-i, 0),
+		})
+	}
+	return faces
+}
+
+// CyclePower3Faces returns the triangular faces {i, i+1, i+3} and
+// {i, i+2, i+3} of the 6-regular torus triangulation C_n(1,2,3) — the
+// Theorem 1.5 gadget substituting Fisk's example (Figure 3).
+func CyclePower3Faces(n int) [][]int {
+	faces := make([][]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		faces = append(faces,
+			[]int{i, (i + 1) % n, (i + 3) % n},
+			[]int{i, (i + 2) % n, (i + 3) % n},
+		)
+	}
+	return faces
+}
+
+// stackedTriangulation builds a triangulation by repeatedly inserting the
+// next vertex v into the face chosen by pick(faces, v), starting from a
+// doubled triangle (sphere). Returns the graph and the final face list
+// (certifying a sphere embedding, hence planarity).
+func stackedTriangulation(n int, pick func(faces [][3]int, v int) int) (*graph.Graph, [][]int) {
+	if n < 3 {
+		panic("gen: stacked triangulation needs n ≥ 3")
+	}
+	b := graph.NewBuilder(n)
+	mustAdd(b, 0, 1)
+	mustAdd(b, 1, 2)
+	mustAdd(b, 0, 2)
+	faces := [][3]int{{0, 1, 2}, {2, 1, 0}} // opposite orientations: a sphere
+	for v := 3; v < n; v++ {
+		fi := pick(faces, v)
+		f := faces[fi]
+		mustAdd(b, v, f[0])
+		mustAdd(b, v, f[1])
+		mustAdd(b, v, f[2])
+		// replace f by three faces around v, preserving orientation
+		faces[fi] = [3]int{f[0], f[1], v}
+		faces = append(faces, [3]int{f[1], f[2], v}, [3]int{f[2], f[0], v})
+	}
+	out := make([][]int, len(faces))
+	for i, f := range faces {
+		out[i] = []int{f[0], f[1], f[2]}
+	}
+	return b.Graph(), out
+}
+
+// ApollonianFaces is Apollonian with the sphere-certifying face list.
+func ApollonianFaces(n int, rng *rand.Rand) (*graph.Graph, [][]int) {
+	return stackedTriangulation(n, func(faces [][3]int, _ int) int { return rng.IntN(len(faces)) })
+}
+
+// PathPower3Faces returns PathPower(n, 3) — the planar triangulation whose
+// induced subgraphs realize the balls of CyclePower(n, 3) — together with
+// its sphere-certifying face list. (Vertex v always stacks onto the face
+// {v-1, v-2, v-3}.)
+func PathPower3Faces(n int) (*graph.Graph, [][]int) {
+	return stackedTriangulation(n, func(faces [][3]int, v int) int {
+		for i, f := range faces {
+			if hasSet3(f, v-1, v-2, v-3) {
+				return i
+			}
+		}
+		panic("gen: stacking face not found")
+	})
+}
+
+func hasSet3(f [3]int, a, b, c int) bool {
+	in := func(x int) bool { return f[0] == x || f[1] == x || f[2] == x }
+	return in(a) && in(b) && in(c)
+}

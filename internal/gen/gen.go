@@ -1,0 +1,498 @@
+// Package gen constructs every graph family used by the paper's theorems,
+// constructions and figures: paths, cycles, trees, planar triangulations
+// (Apollonian/stacked), rectangular/cylindrical/toroidal grids, Klein-bottle
+// grids G(k,l) (Figure 2, Theorems 2.5/2.6), triangulated-torus circulants
+// C_n(1,2,3) (the Theorem 1.5 substitute for Fisk's example, Figure 3),
+// Gallai trees (Figure 1), unions of random forests (arboricity-a
+// workloads), random d-regular graphs (mad = d workloads), and G(n,p).
+//
+// Generators are deterministic given a *rand.Rand; randomized generators
+// take one explicitly so experiments are reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"distcolor/internal/graph"
+)
+
+// Path returns the path on n vertices (n ≥ 1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		mustAdd(b, i, i+1)
+	}
+	return b.Graph()
+}
+
+// Cycle returns the cycle on n ≥ 3 vertices.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: cycle needs n ≥ 3")
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		mustAdd(b, i, (i+1)%n)
+	}
+	return b.Graph()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustAdd(b, i, j)
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteBipartite returns K_{a,b} (left part 0..a-1, right part a..a+b-1).
+func CompleteBipartite(a, b int) *graph.Graph {
+	bld := graph.NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			mustAdd(bld, i, a+j)
+		}
+	}
+	return bld.Graph()
+}
+
+// Star returns K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustAdd(b, 0, i)
+	}
+	return b.Graph()
+}
+
+// RandomTree returns a uniform random-attachment tree on n vertices: vertex i
+// attaches to a uniformly random earlier vertex.
+func RandomTree(n int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustAdd(b, i, rng.IntN(i))
+	}
+	return b.Graph()
+}
+
+// BalancedBinaryTree returns the complete binary tree on n vertices (heap
+// numbering: children of i are 2i+1, 2i+2).
+func BalancedBinaryTree(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustAdd(b, i, (i-1)/2)
+	}
+	return b.Graph()
+}
+
+// Grid returns the r×c rectangular grid (planar, bipartite). Vertex (i,j) is
+// i*c+j.
+func Grid(r, c int) *graph.Graph {
+	b := graph.NewBuilder(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if i+1 < r {
+				mustAdd(b, id(i, j), id(i+1, j))
+			}
+			if j+1 < c {
+				mustAdd(b, id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// CylinderGrid returns C_r × P_c: r rows forming vertical cycles, c columns
+// (planar; triangle-free; the paper's H_{2l} of Figure 2 is CylinderGrid(5, 2l)).
+// Requires r ≥ 3.
+func CylinderGrid(r, c int) *graph.Graph {
+	if r < 3 {
+		panic("gen: cylinder needs r ≥ 3")
+	}
+	b := graph.NewBuilder(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			mustAdd(b, id(i, j), id((i+1)%r, j))
+			if j+1 < c {
+				mustAdd(b, id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// TorusGrid returns C_r × C_c (the quadrangulated torus). Requires r, c ≥ 3.
+func TorusGrid(r, c int) *graph.Graph {
+	if r < 3 || c < 3 {
+		panic("gen: torus needs r, c ≥ 3")
+	}
+	b := graph.NewBuilder(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			mustAdd(b, id(i, j), id((i+1)%r, j))
+			mustAdd(b, id(i, j), id(i, (j+1)%c))
+		}
+	}
+	return b.Graph()
+}
+
+// KleinGrid returns the k×l grid on the Klein bottle (Figure 2 left):
+// vertical cycles of length k wrap normally, and the horizontal wrap
+// identifies column l-1 of row i with column 0 of row k-1-i (the reversed
+// identification). By Gallai's theorem, KleinGrid(2k+1, 2l+1) is
+// 4-chromatic although every ball of small radius is isomorphic to a ball
+// of a planar (triangle-free, bipartite) grid. Requires k, l ≥ 3.
+func KleinGrid(k, l int) *graph.Graph {
+	if k < 3 || l < 3 {
+		panic("gen: Klein grid needs k, l ≥ 3")
+	}
+	b := graph.NewBuilder(k * l)
+	id := func(i, j int) int { return i*l + j }
+	for i := 0; i < k; i++ {
+		for j := 0; j < l; j++ {
+			mustAdd(b, id(i, j), id((i+1)%k, j)) // vertical cycle
+			if j+1 < l {
+				mustAdd(b, id(i, j), id(i, j+1))
+			}
+		}
+		// horizontal wrap with the orientation-reversing identification
+		b.AddEdgeOK(id(i, l-1), id(k-1-i, 0))
+	}
+	return b.Graph()
+}
+
+// CyclePower returns C_n^k = C_n(1, 2, ..., k): vertex i adjacent to i±1,
+// ..., i±k (mod n). CyclePower(n, 3) is a 6-regular triangulation of the
+// torus whose balls of radius r ≤ (n-7)/6 are induced subgraphs of the
+// planar stacked triangulation P^3; for n ≢ 0 (mod 4) its chromatic number
+// is 5 (= ⌈n/⌊n/4⌋⌉ for n ≥ 4k+1-ish), which is the Theorem 1.5 gadget.
+// Requires n ≥ 2k+1.
+func CyclePower(n, k int) *graph.Graph {
+	if n < 2*k+1 {
+		panic(fmt.Sprintf("gen: CyclePower needs n ≥ 2k+1, got n=%d k=%d", n, k))
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			b.AddEdgeOK(i, (i+d)%n)
+		}
+	}
+	return b.Graph()
+}
+
+// PathPower returns P_n^k: vertex i adjacent to i±1..i±k when in range.
+// PathPower(n, 3) is the planar stacked triangulation matching the balls of
+// CyclePower(n, 3).
+func PathPower(n, k int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k && i+d < n; d++ {
+			mustAdd(b, i, i+d)
+		}
+	}
+	return b.Graph()
+}
+
+// Apollonian returns a random stacked planar triangulation on n ≥ 3
+// vertices: start from a triangle and repeatedly insert a new vertex inside
+// a uniformly random existing face, joining it to the face's three corners.
+// The result is a maximal planar graph (3n-6 edges for n ≥ 3), 3-degenerate,
+// with mad < 6: the canonical Corollary 2.3(1) workload.
+func Apollonian(n int, rng *rand.Rand) *graph.Graph {
+	if n < 3 {
+		panic("gen: Apollonian needs n ≥ 3")
+	}
+	b := graph.NewBuilder(n)
+	mustAdd(b, 0, 1)
+	mustAdd(b, 1, 2)
+	mustAdd(b, 0, 2)
+	faces := [][3]int{{0, 1, 2}, {0, 1, 2}} // inner and outer face
+	for v := 3; v < n; v++ {
+		fi := rng.IntN(len(faces))
+		f := faces[fi]
+		mustAdd(b, v, f[0])
+		mustAdd(b, v, f[1])
+		mustAdd(b, v, f[2])
+		faces[fi] = [3]int{v, f[0], f[1]}
+		faces = append(faces, [3]int{v, f[0], f[2]}, [3]int{v, f[1], f[2]})
+	}
+	return b.Graph()
+}
+
+// Subdivide returns the graph where every edge of g is subdivided t times
+// (replaced by a path with t internal vertices). Subdividing preserves
+// planarity and multiplies girth by t+1. t=0 returns a copy.
+func Subdivide(g *graph.Graph, t int) *graph.Graph {
+	if t < 0 {
+		panic("gen: negative subdivision count")
+	}
+	edges := g.Edges()
+	b := graph.NewBuilder(g.N() + t*len(edges))
+	next := g.N()
+	for _, e := range edges {
+		prev := e[0]
+		for s := 0; s < t; s++ {
+			mustAdd(b, prev, next)
+			prev = next
+			next++
+		}
+		mustAdd(b, prev, e[1])
+	}
+	return b.Graph()
+}
+
+// ForestUnion returns the union of a random spanning trees on n vertices
+// (duplicate edges between trees are dropped). Arboricity is at most a by
+// construction, and exactly a whenever enough edges survive
+// (m > (a-1)(n-1), which the generator retries to ensure when possible).
+func ForestUnion(n, a int, rng *rand.Rand) *graph.Graph {
+	if a < 1 {
+		panic("gen: ForestUnion needs a ≥ 1")
+	}
+	b := graph.NewBuilder(n)
+	for t := 0; t < a; t++ {
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			// random attachment over a random relabeling ⇒ a random tree
+			u, v := perm[i], perm[rng.IntN(i)]
+			b.AddEdgeOK(u, v)
+		}
+	}
+	return b.Graph()
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices via
+// the pairing model with double-edge-swap repair (n·d must be even, n > d).
+// Such graphs have mad exactly d. Generation failure (pathological
+// parameters) returns an error.
+func RandomRegular(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if n*d%2 != 0 || d >= n || d < 0 {
+		return nil, fmt.Errorf("gen: invalid regular params n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return graph.NewBuilder(n).Graph(), nil
+	}
+	const maxRestarts = 50
+	for try := 0; try < maxRestarts; try++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		pairs := make([][2]int, 0, n*d/2)
+		for i := 0; i < len(stubs); i += 2 {
+			pairs = append(pairs, [2]int{stubs[i], stubs[i+1]})
+		}
+		if g, ok := repairPairing(n, pairs, rng); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: pairing model failed after %d restarts (n=%d d=%d)", maxRestarts, n, d)
+}
+
+// repairPairing removes self-loops and duplicate edges from a pairing with
+// random double-edge swaps (degree-preserving); reports failure if repair
+// stalls so the caller can reshuffle.
+func repairPairing(n int, pairs [][2]int, rng *rand.Rand) (*graph.Graph, bool) {
+	seen := map[[2]int]bool{}
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	var bad []int
+	for i, p := range pairs {
+		if p[0] == p[1] || seen[key(p[0], p[1])] {
+			bad = append(bad, i)
+			continue
+		}
+		seen[key(p[0], p[1])] = true
+	}
+	budget := 200 * (len(bad) + 1)
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		i := bad[len(bad)-1]
+		j := rng.IntN(len(pairs))
+		if j == i {
+			continue
+		}
+		u, v := pairs[i][0], pairs[i][1]
+		x, y := pairs[j][0], pairs[j][1]
+		// Candidate swap: (u,x) and (v,y). Must not create loops or dups and
+		// must not break a currently-good pair j into a bad one.
+		if u == x || v == y || seen[key(u, x)] || seen[key(v, y)] || key(u, x) == key(v, y) {
+			continue
+		}
+		jGood := !(x == y) && seen[key(x, y)]
+		if jGood {
+			delete(seen, key(x, y))
+		}
+		seen[key(u, x)] = true
+		seen[key(v, y)] = true
+		pairs[i] = [2]int{u, x}
+		pairs[j] = [2]int{v, y}
+		bad = bad[:len(bad)-1]
+		if !jGood {
+			// j was itself bad: it is now fixed too; remove it from bad.
+			for k, b := range bad {
+				if b == j {
+					bad = append(bad[:k], bad[k+1:]...)
+					break
+				}
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return nil, false
+	}
+	b := graph.NewBuilder(n)
+	for _, p := range pairs {
+		if !b.AddEdgeOK(p[0], p[1]) {
+			return nil, false
+		}
+	}
+	return b.Graph(), true
+}
+
+// GNP returns the Erdős–Rényi graph G(n, p).
+func GNP(n int, p float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				mustAdd(b, i, j)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// GallaiTree returns a random Gallai tree (Figure 1) with the given number
+// of blocks: blocks are random cliques (size 2..5) and odd cycles (length
+// 5..9) glued at randomly chosen cut vertices. The returned graph satisfies
+// graph.IsGallaiForest.
+func GallaiTree(blocks int, rng *rand.Rand) *graph.Graph {
+	if blocks < 1 {
+		panic("gen: GallaiTree needs ≥ 1 block")
+	}
+	type edge [2]int
+	var edges []edge
+	verts := 1 // vertex 0 exists
+	attach := []int{0}
+	for bl := 0; bl < blocks; bl++ {
+		cut := attach[rng.IntN(len(attach))]
+		if rng.IntN(2) == 0 {
+			// clique block of size 2..5 including cut
+			size := 2 + rng.IntN(4)
+			members := []int{cut}
+			for i := 1; i < size; i++ {
+				members = append(members, verts)
+				verts++
+			}
+			for i := 0; i < size; i++ {
+				for j := i + 1; j < size; j++ {
+					edges = append(edges, edge{members[i], members[j]})
+				}
+			}
+			attach = append(attach, members[1:]...)
+		} else {
+			// odd cycle block of length 5, 7 or 9 through cut
+			length := 5 + 2*rng.IntN(3)
+			members := []int{cut}
+			for i := 1; i < length; i++ {
+				members = append(members, verts)
+				verts++
+			}
+			for i := 0; i < length; i++ {
+				edges = append(edges, edge{members[i], members[(i+1)%length]})
+			}
+			attach = append(attach, members[1:]...)
+		}
+	}
+	b := graph.NewBuilder(verts)
+	for _, e := range edges {
+		mustAdd(b, e[0], e[1])
+	}
+	return b.Graph()
+}
+
+// WithPendantCliques attaches a K_s (sharing one vertex) to every vertex of
+// g; used by the paper's Section 6 discussion (paths with cliques attached).
+func WithPendantCliques(g *graph.Graph, s int) *graph.Graph {
+	if s < 2 {
+		panic("gen: pendant clique size ≥ 2")
+	}
+	n := g.N()
+	b := graph.NewBuilder(n + n*(s-1))
+	for _, e := range g.Edges() {
+		mustAdd(b, e[0], e[1])
+	}
+	next := n
+	for v := 0; v < n; v++ {
+		members := []int{v}
+		for i := 1; i < s; i++ {
+			members = append(members, next)
+			next++
+		}
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				mustAdd(b, members[i], members[j])
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Cartesian returns the Cartesian product g □ h: vertex (u, v) ↦ u·h.N()+v,
+// with (u,v) ~ (u',v') iff u = u' and v ~_h v', or v = v' and u ~_g u'.
+// CylinderGrid(r, c) = Cartesian(Cycle(r), Path(c)), TorusGrid =
+// Cartesian(Cycle, Cycle); the product form is handy for further paper-style
+// constructions.
+func Cartesian(g, h *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.N() * h.N())
+	id := func(u, v int) int { return u*h.N() + v }
+	for u := 0; u < g.N(); u++ {
+		for _, e := range h.Edges() {
+			mustAdd(b, id(u, e[0]), id(u, e[1]))
+		}
+	}
+	for v := 0; v < h.N(); v++ {
+		for _, e := range g.Edges() {
+			mustAdd(b, id(e[0], v), id(e[1], v))
+		}
+	}
+	return b.Graph()
+}
+
+// Disjoint returns the disjoint union of the given graphs.
+func Disjoint(gs ...*graph.Graph) *graph.Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.N()
+	}
+	b := graph.NewBuilder(total)
+	off := 0
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			mustAdd(b, off+e[0], off+e[1])
+		}
+		off += g.N()
+	}
+	return b.Graph()
+}
+
+func mustAdd(b *graph.Builder, u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+
+	"distcolor/internal/graph"
+)
+
+// ParseSpec builds a graph from a compact generator spec, the format used
+// by cmd/distcolor and handy in tests:
+//
+//	path:N cycle:N complete:N star:N tree:N gallai:BLOCKS
+//	grid:RxC cylinder:RxC torus:RxC klein:KxL
+//	cyclepower:N (C_N(1,2,3))  pathpower:N (P_N^3)
+//	apollonian:N  subdivided:N (once-subdivided Apollonian)
+//	regular:N,D  forests:N,A  gnp:N,AVGDEG
+//
+// Randomized families draw from rng. Size constraints violated by the spec
+// (e.g. klein:2x9 — Klein grids need both sides ≥ 3) are reported as
+// errors, not panics.
+func ParseSpec(spec string, rng *rand.Rand) (g *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("gen: %v", r)
+		}
+	}()
+	name, arg, _ := strings.Cut(spec, ":")
+	ints := func(sep string, want int) ([]int, error) {
+		parts := strings.Split(arg, sep)
+		if len(parts) != want {
+			return nil, fmt.Errorf("gen: %s needs %d '%s'-separated integers, got %q", name, want, sep, arg)
+		}
+		out := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("gen: bad integer in %q", arg)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	one := func() (int, error) {
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return 0, fmt.Errorf("gen: %s needs one integer, got %q", name, arg)
+		}
+		return v, nil
+	}
+	switch name {
+	case "path":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return Path(n), nil
+	case "cycle":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return Cycle(n), nil
+	case "complete":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return Complete(n), nil
+	case "star":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return Star(n), nil
+	case "tree":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return RandomTree(n, rng), nil
+	case "gallai":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return GallaiTree(b, rng), nil
+	case "grid", "cylinder", "torus", "klein":
+		rc, err := ints("x", 2)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "grid":
+			return Grid(rc[0], rc[1]), nil
+		case "cylinder":
+			return CylinderGrid(rc[0], rc[1]), nil
+		case "torus":
+			return TorusGrid(rc[0], rc[1]), nil
+		default:
+			return KleinGrid(rc[0], rc[1]), nil
+		}
+	case "cyclepower":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return CyclePower(n, 3), nil
+	case "pathpower":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return PathPower(n, 3), nil
+	case "apollonian":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return Apollonian(n, rng), nil
+	case "subdivided":
+		n, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return Subdivide(Apollonian(n, rng), 1), nil
+	case "regular":
+		nd, err := ints(",", 2)
+		if err != nil {
+			return nil, err
+		}
+		return RandomRegular(nd[0], nd[1], rng)
+	case "forests":
+		na, err := ints(",", 2)
+		if err != nil {
+			return nil, err
+		}
+		return ForestUnion(na[0], na[1], rng), nil
+	case "gnp":
+		na, err := ints(",", 2)
+		if err != nil {
+			return nil, err
+		}
+		if na[0] < 2 {
+			return nil, fmt.Errorf("gen: gnp needs n ≥ 2")
+		}
+		return GNP(na[0], float64(na[1])/float64(na[0]-1), rng), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown generator %q", name)
+	}
+}

@@ -1,0 +1,131 @@
+// Package gps implements the Goldberg–Plotkin–Shannon peeling strategy
+// (SIAM J. Discrete Math. 1988): repeatedly remove all vertices of degree
+// ≤ k (one layer per round), then color the layers from last to first with
+// the palette {0..k}. Whenever every nonempty subgraph keeps a constant
+// fraction of degree-≤k vertices (planar graphs with k=6 keep ≥ n/7), the
+// number of layers is O(log n). Coloring each layer needs within-layer
+// symmetry breaking, done with Linial's reduction in O(log* n) + O(k²)
+// rounds per layer.
+//
+// Planar7 is the paper's 7-color baseline for planar graphs (Section 1.1).
+package gps
+
+import (
+	"fmt"
+
+	"distcolor/internal/local"
+	"distcolor/internal/reduce"
+)
+
+// Result carries a peeling-based coloring along with its layer structure.
+type Result struct {
+	Colors []int // color per vertex in [0, k]
+	Layers int   // number of peeling layers
+}
+
+// PeelColor colors the graph with k+1 colors ({0..k}) provided peeling
+// degree-≤k vertices exhausts the graph (true iff degeneracy(G) ≤ k). It
+// errors out otherwise. Rounds charged: one per peeling layer, plus the
+// within-layer scheduling cost.
+func PeelColor(nw *local.Network, ledger *local.Ledger, phase string, k int) (*Result, error) {
+	g := nw.G
+	n := g.N()
+	if k < 0 {
+		return nil, fmt.Errorf("gps: negative k")
+	}
+	layerOf := make([]int, n)
+	for v := range layerOf {
+		layerOf[v] = -1
+	}
+	alive := make([]bool, n)
+	aliveCount := n
+	for v := range alive {
+		alive[v] = true
+	}
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	layers := 0
+	for aliveCount > 0 {
+		layers++
+		var peel []int
+		for v := 0; v < n; v++ {
+			if alive[v] && deg[v] <= k {
+				peel = append(peel, v)
+			}
+		}
+		if len(peel) == 0 {
+			return nil, fmt.Errorf("gps: peeling stalled with %d vertices alive (degeneracy > %d)", aliveCount, k)
+		}
+		for _, v := range peel {
+			layerOf[v] = layers
+			alive[v] = false
+			aliveCount--
+		}
+		for _, v := range peel {
+			for _, w32 := range g.Neighbors(v) {
+				if alive[w32] {
+					deg[w32]--
+				}
+			}
+		}
+		if ledger != nil {
+			ledger.Charge(phase+"/peel", 1)
+		}
+	}
+
+	// Color layers from last to first.
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = reduce.Uncolored
+	}
+	for l := layers; l >= 1; l-- {
+		mask := make([]bool, n)
+		for v := 0; v < n; v++ {
+			mask[v] = layerOf[v] == l
+		}
+		// Within-layer schedule: Linial classes on the layer-induced graph.
+		classes, palette := reduce.LinialColor(nw, ledger, phase+"/linial", mask)
+		for c := 0; c < palette; c++ {
+			recolored := false
+			for v := 0; v < n; v++ {
+				if !mask[v] || classes[v] != c {
+					continue
+				}
+				// v has ≤ k neighbors in its own or later layers, all the
+				// already-colored ones; pick a free color among {0..k}.
+				used := make([]bool, k+1)
+				for _, w32 := range g.Neighbors(v) {
+					w := int(w32)
+					if colors[w] >= 0 && colors[w] <= k {
+						used[colors[w]] = true
+					}
+				}
+				picked := -1
+				for x := 0; x <= k; x++ {
+					if !used[x] {
+						picked = x
+						break
+					}
+				}
+				if picked < 0 {
+					return nil, fmt.Errorf("gps: no free color at %d (layer %d)", v, l)
+				}
+				colors[v] = picked
+				recolored = true
+			}
+			if recolored && ledger != nil {
+				ledger.Charge(phase+"/recolor", 1)
+			}
+		}
+	}
+	return &Result{Colors: colors, Layers: layers}, nil
+}
+
+// Planar7 is the GPS 7-coloring baseline for planar graphs: PeelColor with
+// k=6 (planar graphs always keep ≥ n/7 vertices of degree ≤ 6, so the layer
+// count is O(log n)).
+func Planar7(nw *local.Network, ledger *local.Ledger) (*Result, error) {
+	return PeelColor(nw, ledger, "gps7", 6)
+}

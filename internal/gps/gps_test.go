@@ -1,0 +1,94 @@
+package gps
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"distcolor/internal/gen"
+	"distcolor/internal/local"
+	"distcolor/internal/reduce"
+	"distcolor/internal/seqcolor"
+)
+
+func TestPlanar7Apollonian(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{10, 100, 1000} {
+		g := gen.Apollonian(n, rng)
+		nw := local.NewShuffledNetwork(g, rng)
+		var ledger local.Ledger
+		res, err := Planar7(nw, &ledger)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := seqcolor.Verify(g, res.Colors, nil); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if k := seqcolor.NumColors(res.Colors); k > 7 {
+			t.Errorf("n=%d: used %d colors > 7", n, k)
+		}
+		// planar guarantee: layers ≤ log_{7/6} n + 1
+		bound := int(math.Ceil(math.Log(float64(n))/math.Log(7.0/6.0))) + 2
+		if res.Layers > bound {
+			t.Errorf("n=%d: %d layers > bound %d", n, res.Layers, bound)
+		}
+	}
+}
+
+func TestPeelColorGrid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	g := gen.Grid(20, 20)
+	nw := local.NewShuffledNetwork(g, rng)
+	res, err := PeelColor(nw, nil, "t", 2) // grids are 2-degenerate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seqcolor.Verify(g, res.Colors, nil); err != nil {
+		t.Fatal(err)
+	}
+	if k := seqcolor.NumColors(res.Colors); k > 3 {
+		t.Errorf("grid used %d colors > 3", k)
+	}
+}
+
+func TestPeelColorStalls(t *testing.T) {
+	g := gen.Complete(6) // 5-degenerate
+	nw := local.NewNetwork(g)
+	if _, err := PeelColor(nw, nil, "t", 3); err == nil {
+		t.Error("expected stall on K6 with k=3")
+	}
+}
+
+func TestPeelColorColorBoundPerVertex(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	g := gen.Apollonian(300, rng)
+	nw := local.NewShuffledNetwork(g, rng)
+	res, err := PeelColor(nw, nil, "t", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res.Colors {
+		if c < 0 || c > 6 {
+			t.Fatalf("vertex %d color %d outside [0,6]", v, c)
+		}
+	}
+	if err := reduce.VerifyMaskColoring(g, nil, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeelColorTree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	g := gen.RandomTree(500, rng)
+	nw := local.NewShuffledNetwork(g, rng)
+	res, err := PeelColor(nw, nil, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := seqcolor.NumColors(res.Colors); k > 2 {
+		t.Errorf("tree used %d colors > 2", k)
+	}
+	if err := seqcolor.Verify(g, res.Colors, nil); err != nil {
+		t.Fatal(err)
+	}
+}

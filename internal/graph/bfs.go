@@ -1,0 +1,172 @@
+package graph
+
+// BFSResult holds the outcome of a breadth-first search.
+type BFSResult struct {
+	// Dist[v] is the distance from the source set, or -1 if unreachable
+	// (or excluded by the mask / radius cap).
+	Dist []int
+	// Parent[v] is the BFS-tree parent, or -1 for sources/unreached.
+	Parent []int
+	// Order lists reached vertices in nondecreasing distance.
+	Order []int
+}
+
+// BFS runs a breadth-first search from the given sources, restricted to
+// vertices with mask[v] == true (nil mask = all vertices), up to the given
+// radius (negative radius = unbounded). Sources outside the mask are ignored.
+func (g *Graph) BFS(sources []int, mask []bool, radius int) BFSResult {
+	n := g.N()
+	res := BFSResult{
+		Dist:   make([]int, n),
+		Parent: make([]int, n),
+	}
+	for v := range res.Dist {
+		res.Dist[v] = -1
+		res.Parent[v] = -1
+	}
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if mask != nil && !mask[s] {
+			continue
+		}
+		if res.Dist[s] == 0 && len(res.Order) > 0 && containsInt(queue, s) {
+			continue
+		}
+		if res.Dist[s] != -1 {
+			continue
+		}
+		res.Dist[s] = 0
+		queue = append(queue, s)
+	}
+	res.Order = append(res.Order, queue...)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if radius >= 0 && res.Dist[v] >= radius {
+			continue
+		}
+		for _, w32 := range g.adj[v] {
+			w := int(w32)
+			if mask != nil && !mask[w] {
+				continue
+			}
+			if res.Dist[w] != -1 {
+				continue
+			}
+			res.Dist[w] = res.Dist[v] + 1
+			res.Parent[w] = v
+			queue = append(queue, w)
+			res.Order = append(res.Order, w)
+		}
+	}
+	return res
+}
+
+func containsInt(s []int, x int) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Ball returns the set of vertices at distance ≤ radius from v within the
+// mask (nil mask = whole graph), in BFS order. If mask excludes v the ball is
+// empty, matching the paper's convention for B_R(v) with v ∉ R.
+func (g *Graph) Ball(v int, radius int, mask []bool) []int {
+	if mask != nil && !mask[v] {
+		return nil
+	}
+	res := g.BFS([]int{v}, mask, radius)
+	return res.Order
+}
+
+// Eccentricity returns the maximum distance from v to any vertex reachable
+// within the mask. Returns 0 for isolated v.
+func (g *Graph) Eccentricity(v int, mask []bool) int {
+	res := g.BFS([]int{v}, mask, -1)
+	ecc := 0
+	for _, u := range res.Order {
+		if res.Dist[u] > ecc {
+			ecc = res.Dist[u]
+		}
+	}
+	return ecc
+}
+
+// Components returns the connected components as vertex lists, restricted to
+// the mask (nil = all). Each component's vertices appear in BFS order.
+func (g *Graph) Components(mask []bool) [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	for v := 0; v < n; v++ {
+		if seen[v] || (mask != nil && !mask[v]) {
+			continue
+		}
+		res := g.BFS([]int{v}, mask, -1)
+		comp := make([]int, len(res.Order))
+		copy(comp, res.Order)
+		for _, u := range comp {
+			seen[u] = true
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph restricted to mask (nil = all,
+// counting only masked vertices) is connected. Empty graphs count as
+// connected.
+func (g *Graph) IsConnected(mask []bool) bool {
+	return len(g.Components(mask)) <= 1
+}
+
+// Diameter returns the exact diameter of the (assumed connected) masked
+// graph by running a BFS from every masked vertex. O(n·m); intended for
+// analysis and tests, not inner loops.
+func (g *Graph) Diameter(mask []bool) int {
+	d := 0
+	for v := 0; v < g.N(); v++ {
+		if mask != nil && !mask[v] {
+			continue
+		}
+		if e := g.Eccentricity(v, mask); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// IsBipartite reports whether the masked graph is bipartite, and returns a
+// 2-coloring (side[v] ∈ {0,1}; -1 outside mask/unreached) when it is.
+func (g *Graph) IsBipartite(mask []bool) (bool, []int) {
+	n := g.N()
+	side := make([]int, n)
+	for i := range side {
+		side[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		if side[s] != -1 || (mask != nil && !mask[s]) {
+			continue
+		}
+		side[s] = 0
+		queue := []int{s}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w32 := range g.adj[v] {
+				w := int(w32)
+				if mask != nil && !mask[w] {
+					continue
+				}
+				if side[w] == -1 {
+					side[w] = 1 - side[v]
+					queue = append(queue, w)
+				} else if side[w] == side[v] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, side
+}

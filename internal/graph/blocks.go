@@ -1,0 +1,260 @@
+package graph
+
+// Block is a biconnected component: a maximal 2-connected subgraph, or a
+// bridge edge, or (degenerately) an isolated vertex is *not* a block — blocks
+// always contain at least one edge.
+type Block struct {
+	// Vertices of the block, each listed once.
+	Vertices []int
+	// Edges of the block as (u,v) pairs with original vertex ids.
+	Edges [][2]int
+}
+
+// BlockDecomposition is the result of a biconnected-component decomposition.
+type BlockDecomposition struct {
+	Blocks []Block
+	// IsCut[v] reports whether v is an articulation point (cut vertex) of its
+	// component.
+	IsCut []bool
+	// BlocksOf[v] lists the indices (into Blocks) of the blocks containing v.
+	// Non-cut vertices belong to exactly one block (if they have an edge).
+	BlocksOf [][]int
+}
+
+// Blocks computes the biconnected components of the masked graph (nil mask =
+// all vertices) with an iterative Hopcroft–Tarjan DFS (no recursion, safe for
+// path graphs of any length).
+func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
+	n := g.N()
+	num := make([]int, n) // DFS discovery number, 0 = unvisited
+	low := make([]int, n) // low-link
+	parent := make([]int, n)
+	iter := make([]int, n) // per-vertex adjacency cursor
+	for i := range parent {
+		parent[i] = -1
+	}
+	dec := &BlockDecomposition{
+		IsCut:    make([]bool, n),
+		BlocksOf: make([][]int, n),
+	}
+	type edge struct{ u, v int }
+	var estack []edge
+	counter := 0
+
+	inMask := func(v int) bool { return mask == nil || mask[v] }
+
+	popBlock := func(u, v int) {
+		// Pop edges up to and including (u,v) and emit them as one block.
+		var blk Block
+		vset := make(map[int]bool)
+		for len(estack) > 0 {
+			e := estack[len(estack)-1]
+			estack = estack[:len(estack)-1]
+			blk.Edges = append(blk.Edges, [2]int{e.u, e.v})
+			vset[e.u] = true
+			vset[e.v] = true
+			if e.u == u && e.v == v {
+				break
+			}
+		}
+		for w := range vset {
+			blk.Vertices = append(blk.Vertices, w)
+		}
+		idx := len(dec.Blocks)
+		dec.Blocks = append(dec.Blocks, blk)
+		for w := range vset {
+			dec.BlocksOf[w] = append(dec.BlocksOf[w], idx)
+		}
+	}
+
+	for root := 0; root < n; root++ {
+		if num[root] != 0 || !inMask(root) {
+			continue
+		}
+		counter++
+		num[root] = counter
+		low[root] = counter
+		stack := []int{root}
+		rootChildren := 0
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			advanced := false
+			for iter[v] < len(g.adj[v]) {
+				w := int(g.adj[v][iter[v]])
+				iter[v]++
+				if !inMask(w) {
+					continue
+				}
+				if num[w] == 0 {
+					estack = append(estack, edge{v, w})
+					parent[w] = v
+					counter++
+					num[w] = counter
+					low[w] = counter
+					stack = append(stack, w)
+					if v == root {
+						rootChildren++
+					}
+					advanced = true
+					break
+				}
+				if w != parent[v] && num[w] < num[v] {
+					// back edge
+					estack = append(estack, edge{v, w})
+					if num[w] < low[v] {
+						low[v] = num[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Retreat from v.
+			stack = stack[:len(stack)-1]
+			if p := parent[v]; p != -1 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] >= num[p] {
+					// p separates v's subtree: one block ends here.
+					if p != root || rootChildren >= 1 {
+						popBlock(p, v)
+					}
+					if p != root {
+						dec.IsCut[p] = true
+					}
+				}
+			}
+		}
+		if rootChildren >= 2 {
+			dec.IsCut[root] = true
+		}
+	}
+	return dec
+}
+
+// blockIsClique reports whether the block is a complete graph.
+func blockIsClique(b *Block) bool {
+	k := len(b.Vertices)
+	return len(b.Edges) == k*(k-1)/2
+}
+
+// blockIsOddCycle reports whether the block is a cycle of odd length ≥ 3.
+// (K3 counts as both a clique and an odd cycle.)
+func blockIsOddCycle(b *Block) bool {
+	k := len(b.Vertices)
+	if k < 3 || k%2 == 0 || len(b.Edges) != k {
+		return false
+	}
+	deg := make(map[int]int, k)
+	for _, e := range b.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for _, d := range deg {
+		if d != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockIsGood reports whether the block is a clique or an odd cycle, i.e.
+// an allowed block of a Gallai tree.
+func BlockIsGood(b *Block) bool {
+	return blockIsClique(b) || blockIsOddCycle(b)
+}
+
+// IsGallaiForest reports whether every connected component of the masked
+// graph is a Gallai tree: every block is a clique or an odd cycle. The empty
+// graph and edgeless graphs are Gallai forests.
+func (g *Graph) IsGallaiForest(mask []bool) bool {
+	dec := g.Blocks(mask)
+	for i := range dec.Blocks {
+		if !BlockIsGood(&dec.Blocks[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstBadBlock returns the index of some block that is neither a clique nor
+// an odd cycle, or -1 if the masked graph is a Gallai forest.
+func FirstBadBlock(dec *BlockDecomposition) int {
+	for i := range dec.Blocks {
+		if !BlockIsGood(&dec.Blocks[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// BlockTree returns, for a connected masked graph, an adjacency structure
+// over blocks: blockAdj[i] lists blocks sharing a cut vertex with block i,
+// and sharedCut[i][j-th entry] is that cut vertex. Used to peel blocks in
+// reverse order toward a chosen root block.
+type BlockTree struct {
+	Dec *BlockDecomposition
+	// Adj[i] lists neighboring block indices of block i in the block-cut
+	// tree (blocks sharing a cut vertex).
+	Adj [][]int
+	// Via[i][k] is the cut vertex shared between block i and Adj[i][k].
+	Via [][]int
+}
+
+// NewBlockTree builds the block adjacency from a decomposition.
+func NewBlockTree(dec *BlockDecomposition) *BlockTree {
+	t := &BlockTree{
+		Dec: dec,
+		Adj: make([][]int, len(dec.Blocks)),
+		Via: make([][]int, len(dec.Blocks)),
+	}
+	for v, blocks := range dec.BlocksOf {
+		if len(blocks) < 2 {
+			continue
+		}
+		for i := 0; i < len(blocks); i++ {
+			for j := 0; j < len(blocks); j++ {
+				if i == j {
+					continue
+				}
+				t.Adj[blocks[i]] = append(t.Adj[blocks[i]], blocks[j])
+				t.Via[blocks[i]] = append(t.Via[blocks[i]], v)
+			}
+		}
+	}
+	return t
+}
+
+// PeelOrder returns the blocks of the component containing root in an order
+// such that processing them in *reverse* visits every non-root block after
+// all blocks farther from root, together with, for each block, the cut
+// vertex leading toward the root block (-1 for the root block itself).
+// Blocks of other components are not returned.
+func (t *BlockTree) PeelOrder(root int) (order []int, towardRoot []int) {
+	n := len(t.Dec.Blocks)
+	seen := make([]bool, n)
+	toward := make([]int, n)
+	for i := range toward {
+		toward[i] = -1
+	}
+	queue := []int{root}
+	seen[root] = true
+	for head := 0; head < len(queue); head++ {
+		b := queue[head]
+		order = append(order, b)
+		for k, nb := range t.Adj[b] {
+			if seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			toward[nb] = t.Via[b][k]
+			queue = append(queue, nb)
+		}
+	}
+	tw := make([]int, len(order))
+	for i, b := range order {
+		tw[i] = toward[b]
+	}
+	return order, tw
+}

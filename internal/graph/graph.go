@@ -1,0 +1,277 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// reproduction: adjacency storage, traversals, balls, connectivity,
+// biconnected components (blocks), Gallai-tree recognition, girth,
+// degeneracy and clique utilities.
+//
+// Vertices are integers 0..N()-1. Graphs are immutable once built; use
+// Builder to construct them. All algorithms in this package are sequential;
+// the LOCAL-model round accounting lives in internal/local.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph. The zero value is the empty
+// graph.
+type Graph struct {
+	adj [][]int32 // sorted neighbor lists
+	m   int       // number of edges
+}
+
+// New builds a graph with n vertices and the given edges. It panics on
+// out-of-range endpoints; duplicate edges and self-loops are rejected with an
+// error. Most callers should prefer Builder.
+func New(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Graph(), nil
+}
+
+// MustNew is New, panicking on error. Intended for tests and generators with
+// statically known-valid input.
+func MustNew(n int, edges [][2]int) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Builder accumulates edges for a Graph. The zero value is unusable; call
+// NewBuilder.
+type Builder struct {
+	n    int
+	adj  [][]int32
+	m    int
+	done bool
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, adj: make([][]int32, n)}
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error on
+// self-loops, duplicate edges, or out-of-range endpoints.
+func (b *Builder) AddEdge(u, v int) error {
+	if b.done {
+		return fmt.Errorf("graph: builder already finalized")
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if contains(b.adj[u], int32(v)) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+	b.m++
+	return nil
+}
+
+// AddEdgeOK inserts {u,v} if absent and valid, reporting whether it was added.
+// Useful for randomized generators that tolerate collisions.
+func (b *Builder) AddEdgeOK(u, v int) bool {
+	if b.done || u == v || u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false
+	}
+	if contains(b.adj[u], int32(v)) {
+		return false
+	}
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+	b.m++
+	return true
+}
+
+// HasEdge reports whether {u,v} is already present.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false
+	}
+	return contains(b.adj[u], int32(v))
+}
+
+// N returns the number of vertices.
+func (b *Builder) N() int { return b.n }
+
+// Graph finalizes the builder. The builder must not be used afterwards.
+func (b *Builder) Graph() *Graph {
+	b.done = true
+	for _, nbrs := range b.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	return &Graph{adj: b.adj, m: b.m}
+}
+
+func contains(s []int32, x int32) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's neighbor slice in increasing order. The caller must
+// not modify it.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u,v} ∈ E. Runs in O(log deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		v = u
+	}
+	t := int32(v)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= t })
+	return i < len(a) && a[i] == t
+}
+
+// MaxDegree returns Δ(G), 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// MinDegree returns δ(G), 0 for the empty graph.
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	d := g.Degree(0)
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) < d {
+			d = g.Degree(v)
+		}
+	}
+	return d
+}
+
+// AverageDegree returns 2|E|/|V|, 0 for the empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// Edges returns all edges as (u,v) pairs with u < v, ordered by u then v.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// Induced returns the subgraph induced by verts, plus the mapping from new
+// vertex ids (0..len(verts)-1) back to the original ids. Vertices listed more
+// than once are an error.
+func (g *Graph) Induced(verts []int) (*Graph, []int, error) {
+	idx := make(map[int]int, len(verts))
+	orig := make([]int, len(verts))
+	for i, v := range verts {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range", v)
+		}
+		if _, dup := idx[v]; dup {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d listed twice", v)
+		}
+		idx[v] = i
+		orig[i] = v
+	}
+	b := NewBuilder(len(verts))
+	for i, v := range verts {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[int(w)]; ok && j > i {
+				if err := b.AddEdge(i, j); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return b.Graph(), orig, nil
+}
+
+// InducedMask is Induced over the vertices v with mask[v] == true.
+func (g *Graph) InducedMask(mask []bool) (*Graph, []int, error) {
+	if len(mask) != g.N() {
+		return nil, nil, fmt.Errorf("graph: mask length %d != n %d", len(mask), g.N())
+	}
+	verts := make([]int, 0, g.N())
+	for v, ok := range mask {
+		if ok {
+			verts = append(verts, v)
+		}
+	}
+	return g.Induced(verts)
+}
+
+// DegreeInMask returns |N(v) ∩ mask|.
+func (g *Graph) DegreeInMask(v int, mask []bool) int {
+	d := 0
+	for _, w := range g.adj[v] {
+		if mask[w] {
+			d++
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy (rarely needed; Graph is immutable).
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int32, len(g.adj))
+	for v := range g.adj {
+		adj[v] = append([]int32(nil), g.adj[v]...)
+	}
+	return &Graph{adj: adj, m: g.m}
+}
+
+// IsClique reports whether the vertex set verts is pairwise adjacent.
+func (g *Graph) IsClique(verts []int) bool {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if !g.HasEdge(verts[i], verts[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a short description, e.g. "graph(n=5, m=6)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes the graph in the plain edge-list format: the first
+// line is the vertex count, then one "u v" edge per line (u < v, sorted).
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintf(bw, "%d\n", g.N())
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range g.Edges() {
+		k, err = fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses the plain edge-list format written by WriteTo. Blank lines
+// and lines starting with '#' are ignored.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if b == nil {
+			n, err := strconv.Atoi(text)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: vertex count expected, got %q", line, text)
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", line, text)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad integers", line)
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return b.Graph(), nil
+}

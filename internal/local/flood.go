@@ -1,0 +1,225 @@
+package local
+
+import (
+	"sort"
+
+	"distcolor/internal/graph"
+)
+
+// BallGraph is a node's collected knowledge: the induced ball of some radius
+// around it, described over node IDs (not vertex indices — nodes do not know
+// indices).
+type BallGraph struct {
+	CenterID int
+	// IDs of the vertices in the ball, sorted ascending.
+	IDs []int
+	// Edges between ball members as ID pairs (idA < idB), sorted.
+	Edges [][2]int
+}
+
+// floodProgram implements knowledge flooding: in every round each node
+// broadcasts everything it knows (its ID, its incident edges, and all
+// previously received knowledge). After r+1 rounds a node knows the induced
+// ball of radius r around itself. Message sizes are unbounded — this is the
+// LOCAL model's defining freedom.
+type floodProgram struct {
+	info     NodeInfo
+	rounds   int // total rounds to run (radius + 1)
+	knownIDs map[int]bool
+	edges    map[[2]int]bool
+	dirtyIDs []int
+	dirtyEs  [][2]int
+}
+
+type floodMsg struct {
+	from  int // sender's ID — reveals the incident edge to the receiver
+	ids   []int
+	edges [][2]int
+}
+
+func (p *floodProgram) Init(info NodeInfo) {
+	p.info = info
+	p.knownIDs = map[int]bool{info.ID: true}
+	p.edges = map[[2]int]bool{}
+	p.dirtyIDs = []int{info.ID}
+}
+
+func (p *floodProgram) Step(round int, inbox []Inbound) ([]Outbound, bool) {
+	for _, in := range inbox {
+		m, ok := in.Msg.(floodMsg)
+		if !ok {
+			continue
+		}
+		for _, id := range m.ids {
+			if !p.knownIDs[id] {
+				p.knownIDs[id] = true
+				p.dirtyIDs = append(p.dirtyIDs, id)
+			}
+		}
+		for _, e := range m.edges {
+			if !p.edges[e] {
+				p.edges[e] = true
+				p.dirtyEs = append(p.dirtyEs, e)
+			}
+		}
+		if !p.knownIDs[m.from] {
+			p.knownIDs[m.from] = true
+			p.dirtyIDs = append(p.dirtyIDs, m.from)
+		}
+		// learning a neighbor's ID reveals the incident edge
+		e := edgeIDKey(p.info.ID, m.from)
+		if !p.edges[e] {
+			p.edges[e] = true
+			p.dirtyEs = append(p.dirtyEs, e)
+		}
+	}
+	if round > p.rounds {
+		// Final step: merge the last receptions and halt without sending —
+		// this is the output phase, not a communication round.
+		return nil, true
+	}
+	out := floodMsg{
+		from:  p.info.ID,
+		ids:   append([]int(nil), p.dirtyIDs...),
+		edges: append([][2]int(nil), p.dirtyEs...),
+	}
+	p.dirtyIDs = nil
+	p.dirtyEs = nil
+	return []Outbound{{Port: Broadcast, Msg: out}}, false
+}
+
+// Output restricts the collected knowledge to the induced ball of radius
+// rounds-1: after r+1 rounds of flooding a node knows a superset (IDs up to
+// distance r+1 and their incident edges); it computes exact distances up to
+// r+1 inside its knowledge graph and keeps the radius-r induced ball.
+func (p *floodProgram) Output() any {
+	radius := p.rounds - 1
+	// BFS over the knowledge graph from our own ID.
+	adj := map[int][]int{}
+	for e := range p.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	dist := map[int]int{p.info.ID: 0}
+	queue := []int{p.info.ID}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if dist[u] >= radius {
+			continue
+		}
+		for _, w := range adj[u] {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	ids := make([]int, 0, len(dist))
+	for id := range dist {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	edges := make([][2]int, 0, len(p.edges))
+	for e := range p.edges {
+		if _, a := dist[e[0]]; !a {
+			continue
+		}
+		if _, b := dist[e[1]]; !b {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	if len(edges) == 0 {
+		edges = nil
+	}
+	return BallGraph{CenterID: p.info.ID, IDs: ids, Edges: edges}
+}
+
+func edgeIDKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// CollectBallsSync runs the genuine message-passing flooding protocol for
+// radius+1 rounds and returns each node's collected BallGraph. It charges
+// radius+1 rounds. Intended for tests and small graphs (message sizes grow
+// with ball sizes, as the LOCAL model allows).
+func CollectBallsSync(nw *Network, ledger *Ledger, phase string, radius int) ([]BallGraph, error) {
+	outs, err := RunSync(nw, ledger, phase, radius+3, func(v int) Program {
+		return &floodProgram{rounds: radius + 1}
+	})
+	if err != nil {
+		return nil, err
+	}
+	balls := make([]BallGraph, len(outs))
+	for v, o := range outs {
+		balls[v] = o.(BallGraph)
+	}
+	return balls, nil
+}
+
+// CollectBallsCentral computes, for every vertex with mask[v] true (nil =
+// all), the induced ball of radius r in the masked graph, centrally, and
+// charges r+1 LOCAL rounds once (all nodes collect in parallel). This is the
+// standard LOCAL simulation shortcut: identical knowledge, identical cost.
+func CollectBallsCentral(nw *Network, ledger *Ledger, phase string, radius int, mask []bool) []BallGraph {
+	g := nw.G
+	n := g.N()
+	balls := make([]BallGraph, n)
+	for v := 0; v < n; v++ {
+		if mask != nil && !mask[v] {
+			continue
+		}
+		members := g.Ball(v, radius, mask)
+		in := make(map[int]bool, len(members))
+		for _, u := range members {
+			in[u] = true
+		}
+		ids := make([]int, 0, len(members))
+		for _, u := range members {
+			ids = append(ids, nw.ID[u])
+		}
+		sort.Ints(ids)
+		var edges [][2]int
+		for _, u := range members {
+			for _, w := range g.Neighbors(u) {
+				if int(w) > u && in[int(w)] {
+					edges = append(edges, edgeIDKey(nw.ID[u], nw.ID[int(w)]))
+				}
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		balls[v] = BallGraph{CenterID: nw.ID[v], IDs: ids, Edges: edges}
+	}
+	if ledger != nil {
+		ledger.Charge(phase, radius+1)
+	}
+	return balls
+}
+
+// BallToGraph materializes a BallGraph as a graph.Graph plus the sorted ID
+// list mapping new indices to IDs.
+func BallToGraph(b BallGraph) (*graph.Graph, []int) {
+	idx := make(map[int]int, len(b.IDs))
+	for i, id := range b.IDs {
+		idx[id] = i
+	}
+	bld := graph.NewBuilder(len(b.IDs))
+	for _, e := range b.Edges {
+		bld.AddEdgeOK(idx[e[0]], idx[e[1]])
+	}
+	return bld.Graph(), append([]int(nil), b.IDs...)
+}

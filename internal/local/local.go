@@ -1,0 +1,318 @@
+// Package local implements the LOCAL model of distributed computing
+// (Linial): an n-node network where every node has a unique identifier,
+// nodes operate in synchronous rounds, message size is unbounded and local
+// computation is free. The round complexity of an algorithm is the number
+// of rounds until every node has produced its output.
+//
+// The package offers two execution faces with a shared round ledger:
+//
+//   - RunSync: a genuine synchronous message-passing engine — one goroutine
+//     per node, barrier-synchronized rounds. Used by the small-message
+//     subroutines (color reduction, flooding, ball collection) and by the
+//     cross-validation tests.
+//   - Ledger.Charge: explicit round charging for centrally executed phases.
+//     In the LOCAL model any r-round algorithm is exactly equivalent to
+//     "collect the labeled radius-r ball and decide" — so ball-scale phases
+//     (Gallai checks at radius c·log n, ruling-forest levels, root-ball
+//     recoloring) execute centrally and charge their LOCAL cost explicitly.
+//
+// All round counts reported by the reproduction come from Ledger.
+package local
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"distcolor/internal/graph"
+)
+
+// Network binds a graph to an ID assignment. IDs are a permutation of
+// 1..n, as in the paper (each node also knows n).
+type Network struct {
+	G  *graph.Graph
+	ID []int // ID[v] is the identifier of vertex v (1-based, unique)
+}
+
+// NewNetwork assigns IDs 1..n in vertex order.
+func NewNetwork(g *graph.Graph) *Network {
+	ids := make([]int, g.N())
+	for v := range ids {
+		ids[v] = v + 1
+	}
+	return &Network{G: g, ID: ids}
+}
+
+// NewShuffledNetwork assigns a random permutation of 1..n as IDs.
+func NewShuffledNetwork(g *graph.Graph, rng *rand.Rand) *Network {
+	ids := rng.Perm(g.N())
+	for v := range ids {
+		ids[v]++
+	}
+	return &Network{G: g, ID: ids}
+}
+
+// Validate checks that IDs are a permutation of 1..n.
+func (nw *Network) Validate() error {
+	n := nw.G.N()
+	if len(nw.ID) != n {
+		return fmt.Errorf("local: %d ids for %d vertices", len(nw.ID), n)
+	}
+	seen := make([]bool, n+1)
+	for _, id := range nw.ID {
+		if id < 1 || id > n || seen[id] {
+			return fmt.Errorf("local: ids are not a permutation of 1..%d", n)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// PhaseCost records the LOCAL rounds charged to one named phase.
+type PhaseCost struct {
+	Phase  string
+	Rounds int
+}
+
+// Ledger accumulates the LOCAL round cost of an algorithm execution, with a
+// per-phase breakdown, plus message statistics for the message-passing
+// engine (the LOCAL model does not bound message size; the ledger records
+// what a CONGEST implementation would have to pay). The zero value is ready
+// to use. Ledger is not goroutine-safe; engines own one ledger each.
+type Ledger struct {
+	phases []PhaseCost
+	total  int
+
+	messages     int // messages delivered by RunSync
+	maxRoundMsgs int // largest per-round total message count
+}
+
+// Messages returns the number of point-to-point messages delivered by the
+// message-passing engine (broadcasts count once per neighbor).
+func (l *Ledger) Messages() int { return l.messages }
+
+// MaxRoundMessages returns the largest number of messages delivered in any
+// single round.
+func (l *Ledger) MaxRoundMessages() int { return l.maxRoundMsgs }
+
+func (l *Ledger) recordRoundMessages(count int) {
+	l.messages += count
+	if count > l.maxRoundMsgs {
+		l.maxRoundMsgs = count
+	}
+}
+
+// Charge adds rounds to the named phase (merged with the previous entry when
+// the phase name repeats consecutively).
+func (l *Ledger) Charge(phase string, rounds int) {
+	if rounds < 0 {
+		panic("local: negative round charge")
+	}
+	l.total += rounds
+	if k := len(l.phases); k > 0 && l.phases[k-1].Phase == phase {
+		l.phases[k-1].Rounds += rounds
+		return
+	}
+	l.phases = append(l.phases, PhaseCost{Phase: phase, Rounds: rounds})
+}
+
+// Rounds returns the total rounds charged.
+func (l *Ledger) Rounds() int { return l.total }
+
+// Phases returns a copy of the per-phase breakdown.
+func (l *Ledger) Phases() []PhaseCost {
+	return append([]PhaseCost(nil), l.phases...)
+}
+
+// Merge adds another ledger's charges into l under the given prefix.
+func (l *Ledger) Merge(prefix string, other *Ledger) {
+	for _, p := range other.phases {
+		l.Charge(prefix+p.Phase, p.Rounds)
+	}
+}
+
+// ByPhase aggregates total rounds per phase name (non-consecutive repeats
+// are summed), sorted by descending rounds.
+func (l *Ledger) ByPhase() []PhaseCost {
+	agg := map[string]int{}
+	for _, p := range l.phases {
+		agg[p.Phase] += p.Rounds
+	}
+	out := make([]PhaseCost, 0, len(agg))
+	for ph, r := range agg {
+		out = append(out, PhaseCost{Phase: ph, Rounds: r})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rounds != out[j].Rounds {
+			return out[i].Rounds > out[j].Rounds
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// Message is an arbitrary value exchanged between neighbors in one round.
+type Message any
+
+// Inbound is a message received from the neighbor attached at Port.
+type Inbound struct {
+	Port int // index into this node's neighbor list
+	Msg  Message
+}
+
+// Outbound is a message to send to the neighbor attached at Port. A
+// Broadcast port of -1 sends to all neighbors.
+type Outbound struct {
+	Port int
+	Msg  Message
+}
+
+// Broadcast is the Outbound port meaning "all neighbors".
+const Broadcast = -1
+
+// NodeInfo is the static knowledge a node starts with, per the paper's
+// model: its own ID, its degree, and n.
+type NodeInfo struct {
+	V int // vertex index — engines use it for routing; honest programs
+	// only read ID/Degree/N and the per-node data handed to them.
+	ID     int
+	Degree int
+	N      int
+}
+
+// Program is the state machine of one node. Step is called once per round
+// with the messages received; it returns messages to send and whether the
+// node has halted (halted nodes receive no further Steps; their pending
+// outbox is still delivered).
+type Program interface {
+	Init(info NodeInfo)
+	Step(round int, inbox []Inbound) (outbox []Outbound, halt bool)
+	Output() any
+}
+
+// RunSync executes one Program instance per node with goroutine-per-node
+// barrier synchronization until every node halts (or maxRounds elapses, an
+// error). It returns each node's Output and charges the ledger under the
+// given phase name.
+//
+// Round accounting follows the standard send/receive convention: messages
+// sent in step k are received at the end of round k and consumed by step
+// k+1, so an execution of S steps corresponds to S-1 communication rounds
+// (the final step is the output phase).
+func RunSync(nw *Network, ledger *Ledger, phase string, maxRounds int,
+	factory func(v int) Program) ([]any, error) {
+	n := nw.G.N()
+	progs := make([]Program, n)
+	for v := 0; v < n; v++ {
+		progs[v] = factory(v)
+		progs[v].Init(NodeInfo{V: v, ID: nw.ID[v], Degree: nw.G.Degree(v), N: n})
+	}
+	halted := make([]bool, n)
+	inboxes := make([][]Inbound, n)
+	nextInboxes := make([][]Inbound, n)
+
+	type result struct {
+		v      int
+		outbox []Outbound
+		halt   bool
+	}
+	rounds := 0
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("local: exceeded maxRounds=%d in phase %q", maxRounds, phase)
+		}
+		allHalted := true
+		for v := 0; v < n; v++ {
+			if !halted[v] {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			break
+		}
+		rounds++
+		results := make(chan result, n)
+		var wg sync.WaitGroup
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				outbox, halt := progs[v].Step(round, inboxes[v])
+				results <- result{v: v, outbox: outbox, halt: halt}
+			}(v)
+		}
+		wg.Wait()
+		close(results)
+		for v := range nextInboxes {
+			nextInboxes[v] = nil
+		}
+		// Drain results deterministically: collect then sort by vertex.
+		collected := make([]result, 0, n)
+		for r := range results {
+			collected = append(collected, r)
+		}
+		sort.Slice(collected, func(i, j int) bool { return collected[i].v < collected[j].v })
+		roundMsgs := 0
+		for _, r := range collected {
+			halted[r.v] = r.halt
+			for _, out := range r.outbox {
+				if out.Port == Broadcast {
+					for p, w := range nw.G.Neighbors(r.v) {
+						deliver(nw, nextInboxes, r.v, p, int(w), out.Msg)
+						roundMsgs++
+					}
+					continue
+				}
+				if out.Port < 0 || out.Port >= nw.G.Degree(r.v) {
+					panic(fmt.Sprintf("local: node %d sent to invalid port %d", r.v, out.Port))
+				}
+				w := int(nw.G.Neighbors(r.v)[out.Port])
+				deliver(nw, nextInboxes, r.v, out.Port, w, out.Msg)
+				roundMsgs++
+			}
+		}
+		if ledger != nil {
+			ledger.recordRoundMessages(roundMsgs)
+		}
+		inboxes, nextInboxes = nextInboxes, inboxes
+	}
+	if ledger != nil {
+		charge := rounds - 1
+		if charge < 0 {
+			charge = 0
+		}
+		ledger.Charge(phase, charge)
+	}
+	outputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		outputs[v] = progs[v].Output()
+	}
+	return outputs, nil
+}
+
+// deliver routes a message from sender (via its port senderPort) to the
+// receiver w, tagging it with the receiver-side port.
+func deliver(nw *Network, inboxes [][]Inbound, sender, senderPort, w int, msg Message) {
+	// find receiver-side port: index of sender in w's neighbor list
+	nbrs := nw.G.Neighbors(w)
+	t := int32(sender)
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(nbrs) || nbrs[lo] != t {
+		panic("local: message to non-neighbor")
+	}
+	inboxes[w] = append(inboxes[w], Inbound{Port: lo, Msg: msg})
+	_ = senderPort
+}

@@ -1,0 +1,42 @@
+package lower
+
+import (
+	"fmt"
+
+	"distcolor/internal/graph"
+	"distcolor/internal/seqcolor"
+)
+
+// BadAssignmentKmm builds the classical list assignment witnessing
+// ch(K_{m,m}) > k for m = C(2k, k)/... — in its simplest textbook form for
+// k = 2: K_{2,4} with left lists {0,1}, {2,3} and right lists the four
+// products {0,2}, {0,3}, {1,2}, {1,3}. Any left choice (a, b) forbids the
+// right vertex with list {a, b} entirely. This is the paper's Section 1.2
+// remark that complete bipartite graphs have unbounded choice number
+// (χ = 2 but ch > 2), made checkable.
+func BadAssignmentKmm() (*graph.Graph, [][]int) {
+	g := graph.MustNew(6, [][2]int{
+		{0, 2}, {0, 3}, {0, 4}, {0, 5},
+		{1, 2}, {1, 3}, {1, 4}, {1, 5},
+	})
+	lists := [][]int{
+		{0, 1}, {2, 3}, // left side
+		{0, 2}, {0, 3}, {1, 2}, {1, 3}, // right side
+	}
+	return g, lists
+}
+
+// VerifyChoiceGap confirms, by exhaustive search, that the graph of
+// BadAssignmentKmm is 2-colorable (χ = 2) yet not colorable from the given
+// 2-lists (so ch > χ). Returns an error if either half fails — used by
+// tests and the experiment narrative.
+func VerifyChoiceGap() error {
+	g, lists := BadAssignmentKmm()
+	if _, ok := KColorable(g, 2); !ok {
+		return fmt.Errorf("lower: K_{2,4} should be bipartite 2-colorable")
+	}
+	if _, ok := seqcolor.ListColorableBrute(g, lists); ok {
+		return fmt.Errorf("lower: the bad 2-list assignment was colorable — construction broken")
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package lower
+
+import (
+	"fmt"
+
+	"distcolor/internal/local"
+)
+
+// GatherAndColor is the trivial diameter-round upper bound of the LOCAL
+// model: every node collects the entire graph in eccentricity rounds and
+// computes the same optimal k-coloring locally. For the √n × √n grid this
+// is O(√n) rounds — matching Theorem 2.6's Ω(√n) lower bound for
+// 3-coloring grids and showing the grid case of Question 2.7 is settled at
+// Θ(√n); the open question is whether all planar *bipartite* graphs admit
+// O(√n). Rounds charged: diameter+1.
+func GatherAndColor(nw *local.Network, ledger *local.Ledger, k int) ([]int, error) {
+	g := nw.G
+	diam := g.Diameter(nil)
+	colors, ok := KColorable(g, k)
+	if !ok {
+		return nil, fmt.Errorf("lower: graph is not %d-colorable", k)
+	}
+	if ledger != nil {
+		ledger.Charge("gather", diam+1)
+	}
+	return colors, nil
+}

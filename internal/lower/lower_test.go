@@ -1,0 +1,229 @@
+package lower
+
+import (
+	"testing"
+
+	"distcolor/internal/gen"
+	"distcolor/internal/graph"
+	"distcolor/internal/local"
+)
+
+func TestChromaticKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.MustNew(4, nil), 1},
+		{"path", gen.Path(6), 2},
+		{"C5", gen.Cycle(5), 3},
+		{"C6", gen.Cycle(6), 2},
+		{"K5", gen.Complete(5), 5},
+		{"petersen", petersen(), 3},
+		{"grid", gen.Grid(4, 4), 2},
+		{"K3,3", gen.CompleteBipartite(3, 3), 2},
+	}
+	for _, c := range cases {
+		got, err := ChromaticNumber(c.g, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: χ=%d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.AddEdgeOK(i, (i+1)%5)
+		b.AddEdgeOK(5+i, 5+(i+2)%5)
+		b.AddEdgeOK(i, 5+i)
+	}
+	return b.Graph()
+}
+
+func TestKColorableColoringValid(t *testing.T) {
+	g := petersen()
+	colors, ok := KColorable(g, 3)
+	if !ok {
+		t.Fatal("petersen is 3-colorable")
+	}
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			t.Fatal("invalid coloring")
+		}
+	}
+	if _, ok := KColorable(g, 2); ok {
+		t.Fatal("petersen is not 2-colorable")
+	}
+}
+
+func TestKleinGridFourChromatic(t *testing.T) {
+	// Theorem 2.5/2.6 core fact (Gallai): odd×odd Klein-bottle grids have
+	// χ = 4 even though all their small balls look like planar grid balls.
+	for _, tc := range []struct{ k, l int }{{5, 5}, {5, 7}, {7, 5}} {
+		g := gen.KleinGrid(tc.k, tc.l)
+		chi, err := ChromaticNumber(g, 5)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.k, tc.l, err)
+		}
+		if chi != 4 {
+			t.Errorf("KleinGrid(%d,%d): χ=%d, want 4", tc.k, tc.l, chi)
+		}
+	}
+}
+
+func TestCyclePowerFiveChromatic(t *testing.T) {
+	// Theorem 1.5 gadget: χ(C_n(1,2,3)) = ⌈n/⌊n/4⌋⌉ = 5 when 4 ∤ n.
+	for _, n := range []int{13, 14, 15, 17, 19} {
+		g := gen.CyclePower(n, 3)
+		chi, err := ChromaticNumber(g, 6)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if chi != 5 {
+			t.Errorf("C_%d(1,2,3): χ=%d, want 5", n, chi)
+		}
+	}
+	// and 4 when 4 | n
+	g := gen.CyclePower(16, 3)
+	chi, err := ChromaticNumber(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi != 4 {
+		t.Errorf("C_16(1,2,3): χ=%d, want 4", chi)
+	}
+}
+
+func TestRootedBallExtraction(t *testing.T) {
+	g := gen.Cycle(10)
+	b := ExtractBall(g, 3, 2)
+	if b.G.N() != 5 || b.G.M() != 4 {
+		t.Errorf("C10 radius-2 ball should be P5: n=%d m=%d", b.G.N(), b.G.M())
+	}
+	if b.Dist[b.Center] != 0 {
+		t.Error("center distance not 0")
+	}
+}
+
+func TestRootedIsomorphicBasic(t *testing.T) {
+	g1 := gen.Cycle(12)
+	g2 := gen.Cycle(20)
+	b1 := ExtractBall(g1, 0, 3)
+	b2 := ExtractBall(g2, 7, 3)
+	if !RootedIsomorphic(b1, b2) {
+		t.Error("radius-3 cycle balls (paths) should match")
+	}
+	// center off-center in a path: different rooted structure
+	p := gen.Path(9)
+	bc := ExtractBall(p, 4, 3) // symmetric
+	be := ExtractBall(p, 1, 3) // lopsided
+	if RootedIsomorphic(bc, be) {
+		t.Error("asymmetric root should not match symmetric root")
+	}
+}
+
+func TestRootedIsomorphicGrids(t *testing.T) {
+	// interior balls of big grids match each other
+	g1 := gen.Grid(9, 9)
+	g2 := gen.Grid(11, 11)
+	b1 := ExtractBall(g1, 4*9+4, 2)
+	b2 := ExtractBall(g2, 5*11+5, 2)
+	if !RootedIsomorphic(b1, b2) {
+		t.Error("interior grid balls should match")
+	}
+	// corner vs interior must differ
+	bc := ExtractBall(g1, 0, 2)
+	if RootedIsomorphic(b1, bc) {
+		t.Error("corner ball should not match interior ball")
+	}
+}
+
+func TestEveryBallAppearsKleinInCylinder(t *testing.T) {
+	// Theorem 2.5: balls of radius < l of KleinGrid(5, 2l+1) appear in the
+	// planar H_{2l} (5-row cylinder grid) — here l=3, r=2.
+	hard := gen.KleinGrid(5, 7)
+	easy := gen.CylinderGrid(5, 10) // wide enough to host every ball
+	if v := EveryBallAppears(hard, easy, 2); v != -1 {
+		t.Errorf("Klein ball at %d not found in cylinder H", v)
+	}
+}
+
+func TestEveryBallAppearsKleinInPlanarGrid(t *testing.T) {
+	// Theorem 2.6: balls of radius < k of KleinGrid(2k+1, 2k+1) appear in a
+	// planar rectangular grid — k=2, r=1.
+	hard := gen.KleinGrid(5, 5)
+	easy := gen.Grid(11, 11)
+	if v := EveryBallAppears(hard, easy, 1); v != -1 {
+		t.Errorf("Klein ball at %d not found in planar grid", v)
+	}
+}
+
+func TestEveryBallAppearsToroidalInPathPower(t *testing.T) {
+	// Theorem 1.5: balls of radius ≤ (n-7)/6 of C_n(1,2,3) appear in the
+	// planar P^3 — n=25, r=3.
+	hard := gen.CyclePower(25, 3)
+	easy := gen.PathPower(31, 3)
+	if v := EveryBallAppears(hard, easy, 3); v != -1 {
+		t.Errorf("toroidal ball at %d not found in path power", v)
+	}
+}
+
+func TestEveryBallAppearsFailsWhenItShould(t *testing.T) {
+	// A triangle ball cannot appear in a triangle-free graph.
+	hard := gen.Complete(3)
+	easy := gen.Grid(5, 5)
+	if v := EveryBallAppears(hard, easy, 1); v == -1 {
+		t.Error("triangle ball reported present in a bipartite grid")
+	}
+}
+
+func TestOrderInvariantPathWitness(t *testing.T) {
+	u, v, err := OrderInvariantPathWitness(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != u+1 {
+		t.Errorf("witness (%d,%d) not adjacent", u, v)
+	}
+	if _, _, err := OrderInvariantPathWitness(10, 10); err == nil {
+		t.Error("too-short path accepted")
+	}
+}
+
+func TestChoiceNumberGap(t *testing.T) {
+	// Section 1.2: complete bipartite graphs separate χ from ch.
+	if err := VerifyChoiceGap(); err != nil {
+		t.Fatal(err)
+	}
+	g, lists := BadAssignmentKmm()
+	if g.N() != 6 || len(lists) != 6 {
+		t.Error("construction shape wrong")
+	}
+}
+
+func TestGatherAndColorGrid(t *testing.T) {
+	// Θ(√n) for grids: the gather upper bound uses diameter+1 = O(√n)
+	// rounds and 3-colors (indeed 2-colors) the grid exactly.
+	g := gen.Grid(9, 9)
+	nw := local.NewNetwork(g)
+	var ledger local.Ledger
+	colors, err := GatherAndColor(nw, &ledger, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			t.Fatal("invalid coloring")
+		}
+	}
+	if ledger.Rounds() != g.Diameter(nil)+1 {
+		t.Errorf("rounds=%d, want diameter+1=%d", ledger.Rounds(), g.Diameter(nil)+1)
+	}
+	if _, err := GatherAndColor(nw, nil, 1); err == nil {
+		t.Error("1-coloring a grid accepted")
+	}
+}

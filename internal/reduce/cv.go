@@ -1,0 +1,142 @@
+package reduce
+
+import (
+	"fmt"
+	"math/bits"
+
+	"distcolor/internal/local"
+)
+
+// CVForest3Color 3-colors a rooted forest (parent[v] = -1 for roots and for
+// vertices outside the forest; member[v] marks membership) with the
+// Cole–Vishkin bit trick in O(log* n) rounds, followed by the classic
+// shift-down + top-class-removal to reach palette {0,1,2} in 6 more rounds.
+// Edges of the host graph outside the forest are ignored (the forest is
+// colored as a forest). Charges the exact round count.
+func CVForest3Color(nw *local.Network, ledger *local.Ledger, phase string,
+	member []bool, parent []int) ([]int, error) {
+	g := nw.G
+	n := g.N()
+	colors := make([]int, n)
+	for v := 0; v < n; v++ {
+		colors[v] = Uncolored
+		if member[v] {
+			colors[v] = nw.ID[v] // distinct initial colors
+		}
+		if member[v] && parent[v] != -1 {
+			if !member[parent[v]] {
+				return nil, fmt.Errorf("reduce: parent %d of %d outside forest", parent[v], v)
+			}
+			if !g.HasEdge(v, parent[v]) {
+				return nil, fmt.Errorf("reduce: parent %d of %d not adjacent", parent[v], v)
+			}
+		}
+	}
+	rounds := 0
+	// Bit-reduction iterations until palette ⊆ {0..5}.
+	for iter := 0; ; iter++ {
+		maxC := 0
+		for v := 0; v < n; v++ {
+			if member[v] && colors[v] > maxC {
+				maxC = colors[v]
+			}
+		}
+		if maxC <= 5 {
+			break
+		}
+		if iter > 64 {
+			return nil, fmt.Errorf("reduce: Cole–Vishkin failed to converge")
+		}
+		next := make([]int, n)
+		copy(next, colors)
+		for v := 0; v < n; v++ {
+			if !member[v] {
+				continue
+			}
+			pc := colors[v] ^ 1 // roots pretend the parent differs in bit 0
+			if parent[v] != -1 {
+				pc = colors[parent[v]]
+			}
+			diff := colors[v] ^ pc
+			i := bits.TrailingZeros(uint(diff))
+			b := (colors[v] >> i) & 1
+			next[v] = 2*i + b
+		}
+		colors = next
+		rounds++
+	}
+	// Three shift-down + remove-top-class passes: 6 → 3 colors.
+	for top := 5; top >= 3; top-- {
+		// shift down: children adopt the parent's color; roots rotate.
+		next := make([]int, n)
+		copy(next, colors)
+		for v := 0; v < n; v++ {
+			if !member[v] {
+				continue
+			}
+			if parent[v] != -1 {
+				next[v] = colors[parent[v]]
+			} else {
+				next[v] = (colors[v] + 1) % 3 // any color ≠ children's (= old own)
+				if next[v] == colors[v] {
+					next[v] = (colors[v] + 2) % 3
+				}
+			}
+		}
+		colors = next
+		rounds++
+		// remove class `top`: members pick a free color in {0,1,2}; their
+		// tree neighbors are the parent plus monochromatic children.
+		next = make([]int, n)
+		copy(next, colors)
+		for v := 0; v < n; v++ {
+			if !member[v] || colors[v] != top {
+				continue
+			}
+			used := map[int]bool{}
+			if parent[v] != -1 {
+				used[colors[parent[v]]] = true
+			}
+			for _, w32 := range g.Neighbors(v) {
+				w := int(w32)
+				if member[w] && parent[w] == v {
+					used[colors[w]] = true
+				}
+			}
+			picked := -1
+			for c := 0; c < 3; c++ {
+				if !used[c] {
+					picked = c
+					break
+				}
+			}
+			if picked < 0 {
+				return nil, fmt.Errorf("reduce: shift-down invariant violated at %d", v)
+			}
+			next[v] = picked
+		}
+		colors = next
+		rounds++
+	}
+	if ledger != nil {
+		ledger.Charge(phase, rounds)
+	}
+	return colors, nil
+}
+
+// VerifyForestColoring checks that colors properly color the forest edges
+// (v–parent[v]) with palette {0..palette-1}.
+func VerifyForestColoring(member []bool, parent []int, colors []int, palette int) error {
+	for v := range member {
+		if !member[v] {
+			continue
+		}
+		if colors[v] < 0 || colors[v] >= palette {
+			return fmt.Errorf("reduce: vertex %d color %d outside palette %d", v, colors[v], palette)
+		}
+		if parent[v] != -1 && colors[parent[v]] == colors[v] {
+			return fmt.Errorf("reduce: forest edge (%d,%d) monochromatic", v, parent[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+// Package reduce implements the classic distributed color-reduction
+// subroutines used by the paper and its baselines:
+//
+//   - Linial's O(Δ²)-coloring in O(log* n) rounds (polynomial set systems
+//     over finite fields);
+//   - one-class-per-round reduction down to Δ+1 colors;
+//   - Cole–Vishkin 3-coloring of rooted forests (shift-down + reduce);
+//   - the simple randomized (deg+1)-list-coloring (Question 6.2 remark).
+//
+// Implementations execute centrally but charge exact LOCAL round counts to
+// the ledger (see internal/local for the simulation argument); the
+// randomized algorithm is additionally implemented as genuine message-
+// passing node programs.
+package reduce
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"distcolor/internal/graph"
+	"distcolor/internal/local"
+)
+
+// Uncolored marks an uncolored vertex.
+const Uncolored = -1
+
+// smallPrimes returns the first primes ≥ 2 up to limit via a sieve.
+func primesUpTo(limit int) []int {
+	if limit < 2 {
+		return nil
+	}
+	sieve := make([]bool, limit+1)
+	var out []int
+	for p := 2; p <= limit; p++ {
+		if !sieve[p] {
+			out = append(out, p)
+			for q := p * p; q <= limit; q += p {
+				sieve[q] = true
+			}
+		}
+	}
+	return out
+}
+
+// linialPrime finds the smallest prime q such that q > d·t where
+// t = ⌈log_q k⌉ (the polynomial degree bound +1). Returns q and t.
+func linialPrime(k, d int) (int, int) {
+	limit := 4 * (d + 2) * (bitsLen(k) + 2)
+	for {
+		for _, q := range primesUpTo(limit) {
+			t := 1
+			pow := q
+			for pow < k {
+				pow *= q
+				t++
+			}
+			if q > d*t {
+				return q, t
+			}
+		}
+		limit *= 2
+	}
+}
+
+func bitsLen(k int) int {
+	n := 0
+	for k > 0 {
+		k >>= 1
+		n++
+	}
+	return n
+}
+
+// digitsBaseQ returns the t base-q digits of c (little-endian), i.e. the
+// coefficients of vertex c's polynomial.
+func digitsBaseQ(c, q, t int) []int {
+	out := make([]int, t)
+	for i := 0; i < t; i++ {
+		out[i] = c % q
+		c /= q
+	}
+	return out
+}
+
+func evalPoly(coeffs []int, x, q int) int {
+	val := 0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		val = (val*x + coeffs[i]) % q
+	}
+	return val
+}
+
+// LinialColor computes an O(Δ²·log²Δ)-ish coloring of the masked graph in
+// O(log* n) LOCAL rounds: starting from the IDs (palette n), each iteration
+// maps a palette of size k to q² where q is the Linial prime for (k, Δ).
+// It stops when the palette stops shrinking and returns the coloring along
+// with the final palette size. Colors lie in [0, palette).
+func LinialColor(nw *local.Network, ledger *local.Ledger, phase string, mask []bool) ([]int, int) {
+	g := nw.G
+	n := g.N()
+	colors := make([]int, n)
+	for v := 0; v < n; v++ {
+		colors[v] = nw.ID[v] - 1 // palette [0, n)
+	}
+	k := n
+	d := 0
+	for v := 0; v < n; v++ {
+		if mask != nil && !mask[v] {
+			continue
+		}
+		if dv := g.DegreeInMask(v, maskOrAll(mask, n)); dv > d {
+			d = dv
+		}
+	}
+	if d == 0 {
+		// no edges: one color suffices, zero rounds
+		for v := 0; v < n; v++ {
+			colors[v] = 0
+		}
+		return colors, 1
+	}
+	for {
+		q, t := linialPrime(k, d)
+		if q*q >= k {
+			return colors, k
+		}
+		next := make([]int, n)
+		copy(next, colors)
+		for v := 0; v < n; v++ {
+			if mask != nil && !mask[v] {
+				continue
+			}
+			pv := digitsBaseQ(colors[v], q, t)
+			x := -1
+			for cand := 0; cand < q; cand++ {
+				ok := true
+				for _, w32 := range g.Neighbors(v) {
+					w := int(w32)
+					if mask != nil && !mask[w] {
+						continue
+					}
+					pw := digitsBaseQ(colors[w], q, t)
+					if colors[w] != colors[v] && evalPoly(pw, cand, q) == evalPoly(pv, cand, q) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					x = cand
+					break
+				}
+			}
+			if x < 0 {
+				panic("reduce: Linial selection failed — prime too small (internal bug)")
+			}
+			next[v] = x*q + evalPoly(pv, x, q)
+		}
+		colors = next
+		k = q * q
+		if ledger != nil {
+			ledger.Charge(phase, 1)
+		}
+	}
+}
+
+func maskOrAll(mask []bool, n int) []bool {
+	if mask != nil {
+		return mask
+	}
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	return all
+}
+
+// ReduceToMaxDegPlusOne takes a proper coloring with palette [0, k) of the
+// masked graph and reduces it to the palette [0, Δ+1] by recoloring one
+// color class per round (classes are independent sets, so all members
+// recolor simultaneously). Charges max(0, k-(Δ+1)) rounds. Every vertex ends
+// with a color in [0, deg(v)] ⊆ [0, Δ].
+func ReduceToMaxDegPlusOne(nw *local.Network, ledger *local.Ledger, phase string,
+	mask []bool, colors []int, k int) []int {
+	g := nw.G
+	n := g.N()
+	d := 0
+	em := maskOrAll(mask, n)
+	for v := 0; v < n; v++ {
+		if em[v] {
+			if dv := g.DegreeInMask(v, em); dv > d {
+				d = dv
+			}
+		}
+	}
+	out := make([]int, n)
+	copy(out, colors)
+	rounds := 0
+	for c := k - 1; c >= d+1; c-- {
+		for v := 0; v < n; v++ {
+			if !em[v] || out[v] != c {
+				continue
+			}
+			used := make([]bool, d+1)
+			for _, w32 := range g.Neighbors(v) {
+				w := int(w32)
+				if em[w] && out[w] >= 0 && out[w] <= d {
+					used[out[w]] = true
+				}
+			}
+			picked := -1
+			for x := 0; x <= d; x++ {
+				if !used[x] {
+					picked = x
+					break
+				}
+			}
+			if picked < 0 {
+				panic("reduce: no free color ≤ Δ (internal bug)")
+			}
+			out[v] = picked
+		}
+		rounds++
+	}
+	if ledger != nil && rounds > 0 {
+		ledger.Charge(phase, rounds)
+	}
+	return out
+}
+
+// DegPlusOne produces a proper coloring of the masked graph with colors in
+// [0, Δ_mask] (at most Δ+1 colors) in O(log* n + Δ² log Δ) LOCAL rounds:
+// Linial reduction followed by class-by-class reduction.
+func DegPlusOne(nw *local.Network, ledger *local.Ledger, phase string, mask []bool) []int {
+	colors, k := LinialColor(nw, ledger, phase+"/linial", mask)
+	return ReduceToMaxDegPlusOne(nw, ledger, phase+"/reduce", mask, colors, k)
+}
+
+// VerifyMaskColoring checks properness over the masked graph.
+func VerifyMaskColoring(g *graph.Graph, mask []bool, colors []int) error {
+	for v := 0; v < g.N(); v++ {
+		if mask != nil && !mask[v] {
+			continue
+		}
+		if colors[v] < 0 {
+			return fmt.Errorf("reduce: vertex %d uncolored", v)
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if mask != nil && !mask[w] {
+				continue
+			}
+			if colors[w] == colors[v] {
+				return fmt.Errorf("reduce: edge (%d,%d) monochromatic", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// RandomizedListColor runs the simple randomized (deg+1)-list-coloring as
+// genuine message-passing node programs: every uncolored node proposes a
+// uniform color from its remaining list each round and keeps it if no
+// neighbor proposed or holds the same color; finalized colors are removed
+// from neighbors' lists. Requires |lists[v]| ≥ deg(v)+1. Completes in
+// O(log n) rounds with high probability; maxRounds bounds the run.
+func RandomizedListColor(nw *local.Network, ledger *local.Ledger, phase string,
+	lists [][]int, seed uint64, maxRounds int) ([]int, error) {
+	g := nw.G
+	for v := 0; v < g.N(); v++ {
+		if len(lists[v]) < g.Degree(v)+1 {
+			return nil, fmt.Errorf("reduce: vertex %d list %d < deg+1=%d", v, len(lists[v]), g.Degree(v)+1)
+		}
+	}
+	outs, err := local.RunSync(nw, ledger, phase, maxRounds, func(v int) local.Program {
+		return &randColorProgram{list: append([]int(nil), lists[v]...), seed: seed}
+	})
+	if err != nil {
+		return nil, err
+	}
+	colors := make([]int, g.N())
+	for v, o := range outs {
+		c, ok := o.(int)
+		if !ok || c == Uncolored {
+			return nil, fmt.Errorf("reduce: node %d failed to color", v)
+		}
+		colors[v] = c
+	}
+	return colors, nil
+}
+
+type randColorProgram struct {
+	info  local.NodeInfo
+	list  []int
+	rng   *rand.Rand
+	seed  uint64
+	color int
+	cand  int
+}
+
+type randColorMsg struct {
+	candidate int
+	final     bool
+}
+
+func (p *randColorProgram) Init(info local.NodeInfo) {
+	p.info = info
+	p.rng = rand.New(rand.NewPCG(p.seed, uint64(info.ID)))
+	p.color = Uncolored
+	p.cand = Uncolored
+}
+
+func (p *randColorProgram) Step(round int, inbox []local.Inbound) ([]local.Outbound, bool) {
+	// Process last round's proposals/finalizations.
+	conflict := false
+	for _, in := range inbox {
+		m := in.Msg.(randColorMsg)
+		if m.final {
+			// remove neighbor's final color from our list
+			for i, c := range p.list {
+				if c == m.candidate {
+					p.list = append(p.list[:i], p.list[i+1:]...)
+					break
+				}
+			}
+			if p.cand == m.candidate {
+				conflict = true
+			}
+			continue
+		}
+		if m.candidate != Uncolored && m.candidate == p.cand {
+			conflict = true
+		}
+	}
+	if p.color != Uncolored {
+		return nil, true // already announced final color last round
+	}
+	if p.cand != Uncolored && !conflict {
+		// our previous proposal survived: finalize and announce
+		p.color = p.cand
+		return []local.Outbound{{Port: local.Broadcast, Msg: randColorMsg{candidate: p.color, final: true}}}, false
+	}
+	// propose anew
+	if len(p.list) == 0 {
+		// cannot happen with deg+1 lists
+		panic("reduce: randomized coloring ran out of colors")
+	}
+	p.cand = p.list[p.rng.IntN(len(p.list))]
+	return []local.Outbound{{Port: local.Broadcast, Msg: randColorMsg{candidate: p.cand}}}, false
+}
+
+func (p *randColorProgram) Output() any { return p.color }

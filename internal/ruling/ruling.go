@@ -1,0 +1,233 @@
+// Package ruling implements (α, β)-ruling sets and ruling forests in the
+// sense of Awerbuch, Goldberg, Luby and Plotkin (FOCS 1989), as used by
+// Lemma 3.2 of the paper: given a subset U of vertices, a family of
+// vertex-disjoint rooted trees such that every vertex of U lies in a tree,
+// roots are pairwise at distance ≥ α, and tree depth is ≤ β = O(α log n).
+//
+// The ruling set is computed by the classic bit-by-bit merge: maintain a
+// candidate set (initially U); at bit level i, candidates whose IDs agree
+// above bit i are merged — candidates with bit i = 1 survive only if no
+// same-group candidate with bit i = 0 lies within distance < α. Each level
+// costs α LOCAL rounds (a distance-α BFS); there are ⌈log₂(n+1)⌉ levels.
+// The forest is then the multi-source BFS forest of the rulers, trimmed to
+// the union of root paths of U-vertices; its construction costs depth
+// rounds. All charges are recorded on the ledger.
+package ruling
+
+import (
+	"fmt"
+	"math/bits"
+
+	"distcolor/internal/graph"
+	"distcolor/internal/local"
+)
+
+// Forest is an (α, β)-ruling forest.
+type Forest struct {
+	Alpha int
+	// Roots lists the ruling set (subset of U), ascending vertex order.
+	Roots []int
+	// Parent[v] is v's tree parent (-1 for roots and vertices outside the
+	// forest).
+	Parent []int
+	// Depth[v] is v's distance to its root inside the tree (-1 outside).
+	Depth []int
+	// InTree[v] reports membership in some tree.
+	InTree []bool
+	// MaxDepth is the deepest tree node.
+	MaxDepth int
+}
+
+// Compute builds an (α, O(α log n))-ruling forest of the masked graph with
+// respect to U. IDs come from the network (nw.ID); mask restricts the graph
+// (nil = all vertices); every u ∈ U must satisfy the mask. Rounds are
+// charged to the ledger under the given phase.
+func Compute(nw *local.Network, ledger *local.Ledger, phase string,
+	mask []bool, u []int, alpha int) (*Forest, error) {
+	g := nw.G
+	n := g.N()
+	if alpha < 1 {
+		return nil, fmt.Errorf("ruling: alpha must be ≥ 1, got %d", alpha)
+	}
+	inU := make([]bool, n)
+	for _, v := range u {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("ruling: U vertex %d out of range", v)
+		}
+		if mask != nil && !mask[v] {
+			return nil, fmt.Errorf("ruling: U vertex %d outside mask", v)
+		}
+		inU[v] = true
+	}
+
+	// --- Phase 1: ruling set by bit-level merges.
+	isRuler := make([]bool, n)
+	for _, v := range u {
+		isRuler[v] = true
+	}
+	levels := bits.Len(uint(n)) // IDs are 1..n
+	for bit := 0; bit < levels; bit++ {
+		// Group rulers by ID prefix above this bit.
+		groups := map[int][]int{}
+		for v := 0; v < n; v++ {
+			if isRuler[v] {
+				groups[nw.ID[v]>>(bit+1)] = append(groups[nw.ID[v]>>(bit+1)], v)
+			}
+		}
+		for _, members := range groups {
+			var zeros []int
+			hasOne := false
+			for _, v := range members {
+				if (nw.ID[v]>>bit)&1 == 0 {
+					zeros = append(zeros, v)
+				} else {
+					hasOne = true
+				}
+			}
+			if len(zeros) == 0 || !hasOne {
+				continue
+			}
+			// Drop bit-1 members within distance < alpha of a bit-0 member.
+			res := g.BFS(zeros, mask, alpha-1)
+			for _, v := range members {
+				if (nw.ID[v]>>bit)&1 == 1 && res.Dist[v] >= 0 {
+					isRuler[v] = false
+				}
+			}
+		}
+		if ledger != nil {
+			ledger.Charge(phase, alpha)
+		}
+	}
+
+	f := &Forest{
+		Alpha:  alpha,
+		Parent: make([]int, n),
+		Depth:  make([]int, n),
+		InTree: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		f.Parent[v] = -1
+		f.Depth[v] = -1
+	}
+	var roots []int
+	for v := 0; v < n; v++ {
+		if isRuler[v] {
+			roots = append(roots, v)
+		}
+	}
+	f.Roots = roots
+
+	// --- Phase 2: BFS forest from the rulers, trimmed to U's root paths.
+	res := g.BFS(roots, mask, -1)
+	for _, v := range u {
+		if res.Dist[v] < 0 {
+			return nil, fmt.Errorf("ruling: U vertex %d unreachable from rulers", v)
+		}
+	}
+	keep := make([]bool, n)
+	for _, v := range u {
+		x := v
+		for x != -1 && !keep[x] {
+			keep[x] = true
+			x = res.Parent[x]
+		}
+	}
+	maxDepth := 0
+	for v := 0; v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		f.InTree[v] = true
+		f.Parent[v] = res.Parent[v]
+		f.Depth[v] = res.Dist[v]
+		if res.Dist[v] > maxDepth {
+			maxDepth = res.Dist[v]
+		}
+	}
+	f.MaxDepth = maxDepth
+	if ledger != nil {
+		ledger.Charge(phase, maxDepth+1)
+	}
+	return f, nil
+}
+
+// IndependentRulingSet computes a (2, O(log n))-ruling set of the masked
+// graph with respect to U: an independent subset of U such that every
+// vertex of U is within O(log n) hops of a member. With U = V this is a
+// maximal-independent-set-grade symmetry-breaking primitive, obtained here
+// deterministically from the same AGLP machinery (α = 2 makes "distance
+// ≥ α" mean exactly "non-adjacent").
+func IndependentRulingSet(nw *local.Network, ledger *local.Ledger, phase string,
+	mask []bool, u []int) ([]int, error) {
+	f, err := Compute(nw, ledger, phase, mask, u, 2)
+	if err != nil {
+		return nil, err
+	}
+	return f.Roots, nil
+}
+
+// TreeVertices returns all vertices in the forest, ascending.
+func (f *Forest) TreeVertices() []int {
+	var out []int
+	for v, ok := range f.InTree {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// VerifyInvariants checks the (α, β) ruling-forest properties against the
+// masked graph: roots ⊆ U... (roots are rulers chosen from U), pairwise root
+// distance ≥ α, U coverage, parent adjacency, acyclicity and the depth
+// bound β. Used by tests and the experiment harness.
+func (f *Forest) VerifyInvariants(g *graph.Graph, mask []bool, u []int, beta int) error {
+	// roots pairwise ≥ alpha apart
+	for _, r := range f.Roots {
+		res := g.BFS([]int{r}, mask, f.Alpha-1)
+		for _, r2 := range f.Roots {
+			if r2 != r && res.Dist[r2] >= 0 {
+				return fmt.Errorf("ruling: roots %d,%d at distance %d < α=%d", r, r2, res.Dist[r2], f.Alpha)
+			}
+		}
+	}
+	// U covered
+	for _, v := range u {
+		if !f.InTree[v] {
+			return fmt.Errorf("ruling: U vertex %d not in any tree", v)
+		}
+	}
+	// structure
+	for v := range f.InTree {
+		if !f.InTree[v] {
+			if f.Parent[v] != -1 || f.Depth[v] != -1 {
+				return fmt.Errorf("ruling: non-tree vertex %d has tree fields", v)
+			}
+			continue
+		}
+		if mask != nil && !mask[v] {
+			return fmt.Errorf("ruling: tree vertex %d outside mask", v)
+		}
+		p := f.Parent[v]
+		if p == -1 {
+			if f.Depth[v] != 0 {
+				return fmt.Errorf("ruling: root %d with depth %d", v, f.Depth[v])
+			}
+			continue
+		}
+		if !g.HasEdge(v, p) {
+			return fmt.Errorf("ruling: parent %d of %d not adjacent", p, v)
+		}
+		if !f.InTree[p] {
+			return fmt.Errorf("ruling: parent %d of %d outside forest", p, v)
+		}
+		if f.Depth[v] != f.Depth[p]+1 {
+			return fmt.Errorf("ruling: depth mismatch at %d", v)
+		}
+		if f.Depth[v] > beta {
+			return fmt.Errorf("ruling: depth %d exceeds β=%d", f.Depth[v], beta)
+		}
+	}
+	return nil
+}

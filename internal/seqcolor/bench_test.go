@@ -1,0 +1,64 @@
+package seqcolor
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"distcolor/internal/gen"
+)
+
+func BenchmarkDegreeListColorSurplus_n2000(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := gen.Apollonian(2000, rng)
+	lists := make([][]int, g.N())
+	for v := range lists {
+		perm := rng.Perm(g.MaxDegree() + 4)
+		lists[v] = perm[:g.Degree(v)+1]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		colors := make([]int, g.N())
+		for j := range colors {
+			colors[j] = Uncolored
+		}
+		if err := DegreeListColor(g, colors, lists); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDegreeListColorBrooks_n1000(b *testing.B) {
+	// 3-regular tight identical lists: forces the Brooks path per component.
+	rng := rand.New(rand.NewPCG(2, 2))
+	g, err := gen.RandomRegular(1000, 3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lists := UniformLists(g.N(), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		colors := make([]int, g.N())
+		for j := range colors {
+			colors[j] = Uncolored
+		}
+		if err := DegreeListColor(g, colors, lists); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseListColorTheorem12_n2000(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	g := gen.Apollonian(2000, rng)
+	lists := UniformLists(g.N(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		colors, err := SparseListColor(g, 6, lists)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if colors[0] == Uncolored {
+			b.Fatal("uncolored")
+		}
+	}
+}
