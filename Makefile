@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all ci fmt-check vet build test bench-smoke bench
+
+all: ci
+
+ci: fmt-check vet build test bench-smoke
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One-iteration benchmark pass over the engine acceptance benchmarks: a
+# smoke test that the benchmark paths still run, not a measurement.
+bench-smoke:
+	$(GO) test -run xxx -benchtime 1x \
+		-bench 'BenchmarkSparseListColor/.*/n1e[34]$$|BenchmarkCollectBallsSync/grid20x20' .
+
+# Full engine benchmark sweep (slow; use benchstat across commits).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSparseListColor|BenchmarkCollectBallsSync' -benchtime 3x .

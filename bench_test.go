@@ -6,6 +6,7 @@ package distcolor
 // wall time. `go run ./cmd/experiments` regenerates the full-scale tables.
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -106,6 +107,77 @@ func BenchmarkChromaticNumber_Klein5x7(b *testing.B) {
 		if err != nil || chi != 4 {
 			b.Fatalf("χ=%d err=%v", chi, err)
 		}
+	}
+}
+
+// --- Engine throughput grid: SparseListColor (Theorem 1.3) across the three
+// workload families the paper targets — planar (Apollonian triangulations,
+// d=6), bounded arboricity (union of 2 random forests, d=4) and random
+// sparse (random 3-regular, d=3) — at n ∈ {1e3, 1e4, 1e5}. These are the
+// acceptance benchmarks for the CSR + worker-pool engine refactor; compare
+// with `benchstat` across commits.
+
+type engineCase struct {
+	family string
+	d      int
+	build  func(n int, r *rand.Rand) *Graph
+}
+
+func engineCases() []engineCase {
+	return []engineCase{
+		{"planar", 6, func(n int, r *rand.Rand) *Graph { return gen.Apollonian(n, r) }},
+		{"arboricity", 4, func(n int, r *rand.Rand) *Graph { return gen.ForestUnion(n, 2, r) }},
+		{"random-sparse", 3, func(n int, r *rand.Rand) *Graph {
+			g, err := gen.RandomRegular(n, 3, r)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}},
+	}
+}
+
+func BenchmarkSparseListColor(b *testing.B) {
+	sizes := []struct {
+		label string
+		n     int
+	}{{"n1e3", 1_000}, {"n1e4", 10_000}, {"n1e5", 100_000}}
+	for _, tc := range engineCases() {
+		for _, sz := range sizes {
+			b.Run(tc.family+"/"+sz.label, func(b *testing.B) {
+				r := rand.New(rand.NewPCG(uint64(sz.n), uint64(tc.d)))
+				g := tc.build(sz.n, r)
+				b.SetBytes(int64(2 * g.M())) // adjacency entries touched per pass
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := SparseListColor(g, tc.d, nil, Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Colors == nil {
+						b.Fatalf("clique certificate on a K_{%d+1}-free input", tc.d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCollectBallsSync measures the genuine message-passing flooding
+// engine (worker-pool RunSync + sorted-slice merging) on a 2D grid, where
+// radius-r balls have Θ(r²) vertices.
+func BenchmarkCollectBallsSync(b *testing.B) {
+	for _, side := range []int{20, 40, 80} {
+		b.Run(fmt.Sprintf("grid%dx%d", side, side), func(b *testing.B) {
+			g := gen.Grid(side, side)
+			nw := local.NewNetwork(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := local.CollectBallsSync(nw, nil, "flood", 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

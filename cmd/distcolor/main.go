@@ -196,7 +196,7 @@ func runRandomized(g *graph.Graph, rng *rand.Rand) (*distcolor.Coloring, error) 
 }
 
 func printStats(g *graph.Graph) error {
-	fmt.Printf("degeneracy: %d\n", g.Degeneracy(nil).Degeneracy)
+	fmt.Printf("degeneracy: %d\n", g.DegeneracyOrder().Degeneracy)
 	fmt.Printf("girth: %d\n", g.Girth(nil))
 	fmt.Printf("gallai forest: %v\n", g.IsGallaiForest(nil))
 	bip, _ := g.IsBipartite(nil)

@@ -1,0 +1,3 @@
+module distcolor
+
+go 1.24

@@ -20,14 +20,12 @@ func happySet(g *graph.Graph, alive []bool, radius int,
 
 	n := g.N()
 	var st IterationStats
-	degAlive := make([]int, n)
 	richMask := make([]bool, n)
+	degAlive := g.DegreesInMask(alive, nil)
 	for v := 0; v < n; v++ {
-		if !alive[v] {
-			continue
+		if alive[v] {
+			st.Alive++
 		}
-		st.Alive++
-		degAlive[v] = g.DegreeInMask(v, alive)
 	}
 	var rich []int
 	for v := 0; v < n; v++ {
@@ -52,13 +50,15 @@ func happySet(g *graph.Graph, alive []bool, radius int,
 		}
 	}
 	if len(sources) > 0 {
-		res := g.BFS(sources, richMask, radius)
+		tr := g.AcquireTraversal()
+		tr.Run(sources, richMask, radius)
 		for _, v := range rich {
-			if res.Dist[v] >= 0 {
+			if tr.Reached(v) {
 				happyMask[v] = true
 				st.HappyLow++
 			}
 		}
+		g.ReleaseTraversal(tr)
 	}
 
 	// (b) non-Gallai balls, per component of G[rich].

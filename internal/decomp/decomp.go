@@ -55,6 +55,8 @@ func Carve(g *graph.Graph, mask []bool) *Decomposition {
 			remaining++
 		}
 	}
+	tr := g.AcquireTraversal()
+	defer g.ReleaseTraversal(tr)
 	color := 0
 	for remaining > 0 {
 		blocked := make([]bool, n)
@@ -70,18 +72,28 @@ func Carve(g *graph.Graph, mask []bool) *Decomposition {
 			for u := 0; u < n; u++ {
 				avail[u] = inMask(u) && !carved[u] && !blocked[u]
 			}
+			// Doubling growth on one traversal: each bounded run yields both
+			// |B_r| (prefix of Order with dist ≤ r) and |B_{r+1}| (all of it).
 			r := 0
-			prev := g.Ball(v, 0, avail)
+			prevSize := 1
 			for {
-				next := g.Ball(v, r+1, avail)
-				if len(next) <= 2*len(prev) {
+				tr.Run([]int{v}, avail, r+1)
+				if len(tr.Order()) <= 2*prevSize {
 					break
 				}
-				prev = next
+				prevSize = len(tr.Order())
 				r++
 			}
-			cluster := prev
-			boundary := g.Ball(v, r+1, avail)[len(cluster):]
+			order := tr.Order()
+			var cluster, boundary []int
+			for _, u32 := range order {
+				u := int(u32)
+				if tr.Dist(u) <= r {
+					cluster = append(cluster, u)
+				} else {
+					boundary = append(boundary, u)
+				}
+			}
 			cid := len(d.Color)
 			for _, u := range cluster {
 				d.Cluster[u] = cid
@@ -178,11 +190,12 @@ func DegPlusOneListColor(nw *local.Network, ledger *local.Ledger, phase string,
 	for v := range colors {
 		colors[v] = seqcolor.Uncolored
 	}
+	degs := g.DegreesInMask(mask, nil)
 	for v := 0; v < n; v++ {
 		if mask != nil && !mask[v] {
 			continue
 		}
-		if len(lists[v]) < g.DegreeInMask(v, maskOrAll(mask, n))+1 {
+		if len(lists[v]) < degs[v]+1 {
 			return nil, fmt.Errorf("decomp: vertex %d needs a (deg+1)-list", v)
 		}
 	}
@@ -222,15 +235,4 @@ func pickFree(g *graph.Graph, colors []int, list []int, v int) int {
 		}
 	}
 	return seqcolor.Uncolored
-}
-
-func maskOrAll(mask []bool, n int) []bool {
-	if mask != nil {
-		return mask
-	}
-	all := make([]bool, n)
-	for i := range all {
-		all[i] = true
-	}
-	return all
 }

@@ -69,14 +69,14 @@ func MadAtMost(g *graph.Graph, d int) bool {
 
 // subgraphStats returns (n_H, m_H) of the induced subgraph on verts.
 func subgraphStats(g *graph.Graph, verts []int) (int64, int64) {
-	in := make(map[int]bool, len(verts))
+	in := make([]bool, g.N())
 	for _, v := range verts {
 		in[v] = true
 	}
 	var m int64
 	for _, v := range verts {
 		for _, w := range g.Neighbors(v) {
-			if int(w) > v && in[int(w)] {
+			if int(w) > v && in[w] {
 				m++
 			}
 		}

@@ -27,7 +27,7 @@ func (g *Graph) Girth(mask []bool) int {
 			if best != -1 && 2*dist[v] >= best {
 				break
 			}
-			for _, w32 := range g.adj[v] {
+			for _, w32 := range g.Neighbors(v) {
 				w := int(w32)
 				if mask != nil && !mask[w] {
 					continue
@@ -122,7 +122,7 @@ func (g *Graph) Degeneracy(mask []bool) DegeneracyResult {
 		}
 		res.Pos[v] = len(res.Order)
 		res.Order = append(res.Order, v)
-		for _, w32 := range g.adj[v] {
+		for _, w32 := range g.Neighbors(v) {
 			w := int(w32)
 			if !alive[w] || removed[w] {
 				continue
@@ -132,6 +132,15 @@ func (g *Graph) Degeneracy(mask []bool) DegeneracyResult {
 		}
 	}
 	return res
+}
+
+// DegeneracyOrder returns the degeneracy result for the whole graph
+// (mask == nil), computed once and cached — Graph is immutable, so repeated
+// callers (clique search, low-degree peeling, baselines) share one
+// computation.
+func (g *Graph) DegeneracyOrder() DegeneracyResult {
+	g.degenOnce.Do(func() { g.degen = g.Degeneracy(nil) })
+	return g.degen
 }
 
 func aliveOrMask(mask []bool, n int) []bool {
@@ -157,7 +166,7 @@ func (g *Graph) FindCliqueDPlus1(d int) []int {
 	if d < 1 {
 		return nil
 	}
-	res := g.Degeneracy(nil)
+	res := g.DegeneracyOrder()
 	if res.Degeneracy > d {
 		// Outside the promised regime; fall back to a bounded search over
 		// later-neighborhood subsets only when the later neighborhood is
@@ -165,7 +174,7 @@ func (g *Graph) FindCliqueDPlus1(d int) []int {
 	}
 	for _, v := range res.Order {
 		later := make([]int, 0, d+1)
-		for _, w32 := range g.adj[v] {
+		for _, w32 := range g.Neighbors(v) {
 			w := int(w32)
 			if res.Pos[w] > res.Pos[v] {
 				later = append(later, w)
@@ -231,13 +240,13 @@ func findCliqueOfSize(g *Graph, cand []int, size int) []int {
 // ContainsTriangle reports whether the graph has a triangle, returning one.
 func (g *Graph) ContainsTriangle() (bool, [3]int) {
 	for u := 0; u < g.N(); u++ {
-		for _, w32 := range g.adj[u] {
+		for _, w32 := range g.Neighbors(u) {
 			w := int(w32)
 			if w <= u {
 				continue
 			}
 			// intersect adjacency lists
-			a, b := g.adj[u], g.adj[w]
+			a, b := g.Neighbors(u), g.Neighbors(w)
 			i, j := 0, 0
 			for i < len(a) && j < len(b) {
 				switch {

@@ -79,8 +79,9 @@ func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			advanced := false
-			for iter[v] < len(g.adj[v]) {
-				w := int(g.adj[v][iter[v]])
+			nbrs := g.Neighbors(v)
+			for iter[v] < len(nbrs) {
+				w := int(nbrs[iter[v]])
 				iter[v]++
 				if !inMask(w) {
 					continue

@@ -4,20 +4,36 @@
 // degeneracy and clique utilities.
 //
 // Vertices are integers 0..N()-1. Graphs are immutable once built; use
-// Builder to construct them. All algorithms in this package are sequential;
-// the LOCAL-model round accounting lives in internal/local.
+// Builder to construct them. Adjacency is stored in CSR (compressed sparse
+// row) form — one flat neighbor array indexed by a per-vertex offset array —
+// so whole-graph sweeps are a single contiguous scan and per-vertex
+// neighbor access is an O(1) slice view. All algorithms in this package are
+// sequential; the LOCAL-model round accounting lives in internal/local.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 )
 
-// Graph is an immutable simple undirected graph. The zero value is the empty
-// graph.
+// Graph is an immutable simple undirected graph in CSR form. The zero value
+// is the empty graph. Because a Graph never changes after construction,
+// expensive whole-graph statistics (maximum degree, the degeneracy order)
+// are computed once and cached; concurrent readers are safe.
 type Graph struct {
-	adj [][]int32 // sorted neighbor lists
-	m   int       // number of edges
+	// offsets has N()+1 entries; vertex v's neighbors are
+	// neighbors[offsets[v]:offsets[v+1]], sorted ascending.
+	offsets   []int32
+	neighbors []int32
+	m         int
+	maxDeg    int
+
+	degenOnce sync.Once
+	degen     DegeneracyResult
+
+	scratch sync.Pool // *Traversal, reused by Ball/Components/etc.
 }
 
 // New builds a graph with n vertices and the given edges. It panics on
@@ -107,13 +123,39 @@ func (b *Builder) HasEdge(u, v int) bool {
 // N returns the number of vertices.
 func (b *Builder) N() int { return b.n }
 
-// Graph finalizes the builder. The builder must not be used afterwards.
+// Graph finalizes the builder into CSR form. The builder must not be used
+// afterwards.
 func (b *Builder) Graph() *Graph {
 	b.done = true
-	for _, nbrs := range b.adj {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	offsets := make([]int32, b.n+1)
+	total := 0
+	maxDeg := 0
+	for v, nbrs := range b.adj {
+		offsets[v] = int32(total)
+		total += len(nbrs)
+		if len(nbrs) > maxDeg {
+			maxDeg = len(nbrs)
+		}
 	}
-	return &Graph{adj: b.adj, m: b.m}
+	if total > math.MaxInt32 {
+		// 2·M() must fit the int32 CSR offsets; fail loudly rather than
+		// wrap into inverted slice bounds.
+		panic(fmt.Sprintf("graph: %d adjacency entries exceed the int32 CSR limit", total))
+	}
+	offsets[b.n] = int32(total)
+	neighbors := make([]int32, total)
+	for v, nbrs := range b.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		copy(neighbors[offsets[v]:offsets[v+1]], nbrs)
+		b.adj[v] = nil // release the per-vertex slice eagerly
+	}
+	return newCSR(offsets, neighbors, b.m, maxDeg)
+}
+
+func newCSR(offsets, neighbors []int32, m, maxDeg int) *Graph {
+	g := &Graph{offsets: offsets, neighbors: neighbors, m: m, maxDeg: maxDeg}
+	g.scratch.New = func() any { return g.NewTraversal() }
+	return g
 }
 
 func contains(s []int32, x int32) bool {
@@ -126,23 +168,37 @@ func contains(s []int32, x int32) bool {
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
-// Neighbors returns v's neighbor slice in increasing order. The caller must
-// not modify it.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// Neighbors returns v's neighbor slice in increasing order — a view into the
+// CSR array. The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
+
+// CSR exposes the raw compressed-sparse-row arrays: offsets (length N()+1)
+// and the flat neighbor array (length 2·M()). Vertex v's neighbors are
+// neighbors[offsets[v]:offsets[v+1]], sorted ascending. Callers must treat
+// both slices as read-only; this is the zero-cost accessor for tight loops
+// that sweep the whole adjacency structure.
+func (g *Graph) CSR() (offsets, neighbors []int32) { return g.offsets, g.neighbors }
 
 // HasEdge reports whether {u,v} ∈ E. Runs in O(log deg(u)).
 func (g *Graph) HasEdge(u, v int) bool {
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a = g.adj[v]
+	a := g.Neighbors(u)
+	if g.Degree(v) < len(a) {
+		a = g.Neighbors(v)
 		v = u
 	}
 	t := int32(v)
@@ -150,16 +206,8 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return i < len(a) && a[i] == t
 }
 
-// MaxDegree returns Δ(G), 0 for the empty graph.
-func (g *Graph) MaxDegree() int {
-	d := 0
-	for v := range g.adj {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
-		}
-	}
-	return d
-}
+// MaxDegree returns Δ(G), 0 for the empty graph. Cached at construction.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // MinDegree returns δ(G), 0 for the empty graph.
 func (g *Graph) MinDegree() int {
@@ -186,12 +234,52 @@ func (g *Graph) AverageDegree() float64 {
 // Edges returns all edges as (u,v) pairs with u < v, ordered by u then v.
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.m)
-	for u := range g.adj {
-		for _, w := range g.adj[u] {
+	g.ForEachEdge(func(u, v int) {
+		out = append(out, [2]int{u, v})
+	})
+	return out
+}
+
+// ForEachEdge calls fn once per edge with u < v, ordered by u then v,
+// without materializing an edge list.
+func (g *Graph) ForEachEdge(fn func(u, v int)) {
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
 			if int(w) > u {
-				out = append(out, [2]int{u, int(w)})
+				fn(u, int(w))
 			}
 		}
+	}
+}
+
+// DegreesInMask fills out (allocating when nil or too short) with
+// |N(v) ∩ mask| for every masked vertex v, and 0 elsewhere. A nil mask
+// means all vertices, making this a plain bulk degree sweep. This is the
+// cache-friendly batch form of DegreeInMask for whole-graph passes.
+func (g *Graph) DegreesInMask(mask []bool, out []int) []int {
+	n := g.N()
+	if cap(out) < n {
+		out = make([]int, n)
+	}
+	out = out[:n]
+	if mask == nil {
+		for v := 0; v < n; v++ {
+			out[v] = g.Degree(v)
+		}
+		return out
+	}
+	for v := 0; v < n; v++ {
+		if !mask[v] {
+			out[v] = 0
+			continue
+		}
+		d := 0
+		for _, w := range g.Neighbors(v) {
+			if mask[w] {
+				d++
+			}
+		}
+		out[v] = d
 	}
 	return out
 }
@@ -214,7 +302,7 @@ func (g *Graph) Induced(verts []int) (*Graph, []int, error) {
 	}
 	b := NewBuilder(len(verts))
 	for i, v := range verts {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if j, ok := idx[int(w)]; ok && j > i {
 				if err := b.AddEdge(i, j); err != nil {
 					return nil, nil, err
@@ -242,7 +330,7 @@ func (g *Graph) InducedMask(mask []bool) (*Graph, []int, error) {
 // DegreeInMask returns |N(v) ∩ mask|.
 func (g *Graph) DegreeInMask(v int, mask []bool) int {
 	d := 0
-	for _, w := range g.adj[v] {
+	for _, w := range g.Neighbors(v) {
 		if mask[w] {
 			d++
 		}
@@ -252,11 +340,9 @@ func (g *Graph) DegreeInMask(v int, mask []bool) int {
 
 // Clone returns a deep copy (rarely needed; Graph is immutable).
 func (g *Graph) Clone() *Graph {
-	adj := make([][]int32, len(g.adj))
-	for v := range g.adj {
-		adj[v] = append([]int32(nil), g.adj[v]...)
-	}
-	return &Graph{adj: adj, m: g.m}
+	offsets := append([]int32(nil), g.offsets...)
+	neighbors := append([]int32(nil), g.neighbors...)
+	return newCSR(offsets, neighbors, g.m, g.maxDeg)
 }
 
 // IsClique reports whether the vertex set verts is pairwise adjacent.

@@ -18,30 +18,82 @@ type BallGraph struct {
 }
 
 // floodProgram implements knowledge flooding: in every round each node
-// broadcasts everything it knows (its ID, its incident edges, and all
+// broadcasts everything new it learned (its ID, its incident edges, and all
 // previously received knowledge). After r+1 rounds a node knows the induced
 // ball of radius r around itself. Message sizes are unbounded — this is the
 // LOCAL model's defining freedom.
+//
+// Knowledge is held in sorted slices and every reception is a two-pointer
+// merge: duplicates (the overwhelmingly common case after the first rounds,
+// since neighbors flood overlapping balls) are discarded in one linear scan
+// with zero allocation, and only genuinely fresh items are merged in. The
+// earlier map-of-maps representation paid a hash lookup and heap traffic
+// per (item × neighbor × round); the sorted form is what makes large-ball
+// collection tractable.
 type floodProgram struct {
-	info     NodeInfo
-	rounds   int // total rounds to run (radius + 1)
-	knownIDs map[int]bool
-	edges    map[[2]int]bool
+	info   NodeInfo
+	rounds int      // total rounds to run (radius + 1)
+	known  []int    // IDs known so far, sorted ascending
+	edges  [][2]int // edges known so far, sorted lexicographically
+	// newly learned items since the last send; sorted on send
 	dirtyIDs []int
 	dirtyEs  [][2]int
+	freshBuf []int    // reusable scratch for id merges
+	freshEs  [][2]int // reusable scratch for edge merges
 }
 
 type floodMsg struct {
-	from  int // sender's ID — reveals the incident edge to the receiver
-	ids   []int
-	edges [][2]int
+	from  int      // sender's ID — reveals the incident edge to the receiver
+	ids   []int    // sorted ascending
+	edges [][2]int // sorted lexicographically
 }
 
 func (p *floodProgram) Init(info NodeInfo) {
 	p.info = info
-	p.knownIDs = map[int]bool{info.ID: true}
-	p.edges = map[[2]int]bool{}
+	p.known = []int{info.ID}
 	p.dirtyIDs = []int{info.ID}
+}
+
+// mergeIDs folds the sorted id list add into p.known, recording genuinely
+// new ids in p.dirtyIDs. Zero allocation when add ⊆ known.
+func (p *floodProgram) mergeIDs(add []int) {
+	fresh := p.freshBuf[:0]
+	i := 0
+	for _, x := range add {
+		for i < len(p.known) && p.known[i] < x {
+			i++
+		}
+		if i >= len(p.known) || p.known[i] != x {
+			fresh = append(fresh, x)
+		}
+	}
+	p.freshBuf = fresh
+	if len(fresh) == 0 {
+		return
+	}
+	p.known = mergeSortedInts(p.known, fresh)
+	p.dirtyIDs = append(p.dirtyIDs, fresh...)
+}
+
+// mergeEdges folds the sorted edge list add into p.edges, recording new
+// edges in p.dirtyEs.
+func (p *floodProgram) mergeEdges(add [][2]int) {
+	fresh := p.freshEs[:0]
+	i := 0
+	for _, e := range add {
+		for i < len(p.edges) && edgeLess(p.edges[i], e) {
+			i++
+		}
+		if i >= len(p.edges) || p.edges[i] != e {
+			fresh = append(fresh, e)
+		}
+	}
+	p.freshEs = fresh
+	if len(fresh) == 0 {
+		return
+	}
+	p.edges = mergeSortedEdges(p.edges, fresh)
+	p.dirtyEs = append(p.dirtyEs, fresh...)
 }
 
 func (p *floodProgram) Step(round int, inbox []Inbound) ([]Outbound, bool) {
@@ -50,39 +102,22 @@ func (p *floodProgram) Step(round int, inbox []Inbound) ([]Outbound, bool) {
 		if !ok {
 			continue
 		}
-		for _, id := range m.ids {
-			if !p.knownIDs[id] {
-				p.knownIDs[id] = true
-				p.dirtyIDs = append(p.dirtyIDs, id)
-			}
-		}
-		for _, e := range m.edges {
-			if !p.edges[e] {
-				p.edges[e] = true
-				p.dirtyEs = append(p.dirtyEs, e)
-			}
-		}
-		if !p.knownIDs[m.from] {
-			p.knownIDs[m.from] = true
-			p.dirtyIDs = append(p.dirtyIDs, m.from)
-		}
+		p.mergeIDs(m.ids)
+		p.mergeEdges(m.edges)
+		p.mergeIDs([]int{m.from})
 		// learning a neighbor's ID reveals the incident edge
-		e := edgeIDKey(p.info.ID, m.from)
-		if !p.edges[e] {
-			p.edges[e] = true
-			p.dirtyEs = append(p.dirtyEs, e)
-		}
+		p.mergeEdges([][2]int{edgeIDKey(p.info.ID, m.from)})
 	}
 	if round > p.rounds {
 		// Final step: merge the last receptions and halt without sending —
 		// this is the output phase, not a communication round.
 		return nil, true
 	}
-	out := floodMsg{
-		from:  p.info.ID,
-		ids:   append([]int(nil), p.dirtyIDs...),
-		edges: append([][2]int(nil), p.dirtyEs...),
-	}
+	// dirty accumulates fresh batches from several senders; restore the
+	// sorted-message invariant before broadcasting.
+	sort.Ints(p.dirtyIDs)
+	sort.Slice(p.dirtyEs, func(i, j int) bool { return edgeLess(p.dirtyEs[i], p.dirtyEs[j]) })
+	out := floodMsg{from: p.info.ID, ids: p.dirtyIDs, edges: p.dirtyEs}
 	p.dirtyIDs = nil
 	p.dirtyEs = nil
 	return []Outbound{{Port: Broadcast, Msg: out}}, false
@@ -94,51 +129,103 @@ func (p *floodProgram) Step(round int, inbox []Inbound) ([]Outbound, bool) {
 // r+1 inside its knowledge graph and keeps the radius-r induced ball.
 func (p *floodProgram) Output() any {
 	radius := p.rounds - 1
-	// BFS over the knowledge graph from our own ID.
-	adj := map[int][]int{}
-	for e := range p.edges {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+	// Index the sorted ID universe and build a CSR adjacency over it.
+	idIndex := func(id int) int { return sort.SearchInts(p.known, id) }
+	k := len(p.known)
+	deg := make([]int32, k+1)
+	for _, e := range p.edges {
+		deg[idIndex(e[0])+1]++
+		deg[idIndex(e[1])+1]++
 	}
-	dist := map[int]int{p.info.ID: 0}
-	queue := []int{p.info.ID}
+	for i := 1; i <= k; i++ {
+		deg[i] += deg[i-1]
+	}
+	adj := make([]int32, deg[k])
+	cursor := append([]int32(nil), deg[:k]...)
+	for _, e := range p.edges {
+		a, b := idIndex(e[0]), idIndex(e[1])
+		adj[cursor[a]] = int32(b)
+		cursor[a]++
+		adj[cursor[b]] = int32(a)
+		cursor[b]++
+	}
+	// BFS from our own ID up to the radius.
+	dist := make([]int, k)
+	for i := range dist {
+		dist[i] = -1
+	}
+	self := idIndex(p.info.ID)
+	dist[self] = 0
+	queue := make([]int32, 0, k)
+	queue = append(queue, int32(self))
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		if dist[u] >= radius {
 			continue
 		}
-		for _, w := range adj[u] {
-			if _, seen := dist[w]; !seen {
+		for _, w := range adj[deg[u]:deg[u+1]] {
+			if dist[w] == -1 {
 				dist[w] = dist[u] + 1
 				queue = append(queue, w)
 			}
 		}
 	}
-	ids := make([]int, 0, len(dist))
-	for id := range dist {
-		ids = append(ids, id)
+	ids := make([]int, 0, len(queue))
+	for i, id := range p.known {
+		if dist[i] >= 0 {
+			ids = append(ids, id)
+		}
 	}
-	sort.Ints(ids)
-	edges := make([][2]int, 0, len(p.edges))
-	for e := range p.edges {
-		if _, a := dist[e[0]]; !a {
-			continue
+	var edges [][2]int
+	for _, e := range p.edges {
+		if dist[idIndex(e[0])] >= 0 && dist[idIndex(e[1])] >= 0 {
+			edges = append(edges, e)
 		}
-		if _, b := dist[e[1]]; !b {
-			continue
-		}
-		edges = append(edges, e)
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i][0] != edges[j][0] {
-			return edges[i][0] < edges[j][0]
-		}
-		return edges[i][1] < edges[j][1]
-	})
-	if len(edges) == 0 {
-		edges = nil
 	}
 	return BallGraph{CenterID: p.info.ID, IDs: ids, Edges: edges}
+}
+
+// edgeLess orders ID pairs lexicographically.
+func edgeLess(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// mergeSortedInts merges two sorted disjoint slices into a new sorted slice.
+func mergeSortedInts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mergeSortedEdges merges two sorted disjoint edge slices into a new sorted
+// slice.
+func mergeSortedEdges(a, b [][2]int) [][2]int {
+	out := make([][2]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if edgeLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 func edgeIDKey(a, b int) [2]int {
@@ -174,12 +261,12 @@ func CollectBallsCentral(nw *Network, ledger *Ledger, phase string, radius int, 
 	g := nw.G
 	n := g.N()
 	balls := make([]BallGraph, n)
+	in := make([]bool, n)
 	for v := 0; v < n; v++ {
 		if mask != nil && !mask[v] {
 			continue
 		}
 		members := g.Ball(v, radius, mask)
-		in := make(map[int]bool, len(members))
 		for _, u := range members {
 			in[u] = true
 		}
@@ -191,18 +278,16 @@ func CollectBallsCentral(nw *Network, ledger *Ledger, phase string, radius int, 
 		var edges [][2]int
 		for _, u := range members {
 			for _, w := range g.Neighbors(u) {
-				if int(w) > u && in[int(w)] {
+				if int(w) > u && in[w] {
 					edges = append(edges, edgeIDKey(nw.ID[u], nw.ID[int(w)]))
 				}
 			}
 		}
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i][0] != edges[j][0] {
-				return edges[i][0] < edges[j][0]
-			}
-			return edges[i][1] < edges[j][1]
-		})
+		sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i], edges[j]) })
 		balls[v] = BallGraph{CenterID: nw.ID[v], IDs: ids, Edges: edges}
+		for _, u := range members {
+			in[u] = false
+		}
 	}
 	if ledger != nil {
 		ledger.Charge(phase, radius+1)

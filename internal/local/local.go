@@ -6,10 +6,11 @@
 //
 // The package offers two execution faces with a shared round ledger:
 //
-//   - RunSync: a genuine synchronous message-passing engine — one goroutine
-//     per node, barrier-synchronized rounds. Used by the small-message
-//     subroutines (color reduction, flooding, ball collection) and by the
-//     cross-validation tests.
+//   - RunSync: a genuine synchronous message-passing engine — a bounded
+//     worker pool executes every node's step each round, with deterministic
+//     double-buffered message delivery between rounds. Used by the
+//     small-message subroutines (color reduction, flooding, ball
+//     collection) and by the cross-validation tests.
 //   - Ledger.Charge: explicit round charging for centrally executed phases.
 //     In the LOCAL model any r-round algorithm is exactly equivalent to
 //     "collect the labeled radius-r ball and decide" — so ball-scale phases
@@ -22,8 +23,9 @@ package local
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"distcolor/internal/graph"
 )
@@ -191,10 +193,25 @@ type Program interface {
 	Output() any
 }
 
-// RunSync executes one Program instance per node with goroutine-per-node
-// barrier synchronization until every node halts (or maxRounds elapses, an
-// error). It returns each node's Output and charges the ledger under the
-// given phase name.
+// workerChunk is how many active nodes a pool worker claims per grab. Large
+// enough to amortize the atomic increment, small enough to balance skewed
+// per-node step costs (flooding steps near a hub are far pricier than at the
+// periphery).
+const workerChunk = 64
+
+// RunSync executes one Program instance per node until every node halts (or
+// maxRounds elapses, an error). It returns each node's Output and charges
+// the ledger under the given phase name.
+//
+// Execution engine: a bounded worker pool, not one goroutine per node. The
+// pool holds min(GOMAXPROCS, n) long-lived workers that persist across
+// rounds; each round the active nodes are sharded across the workers in
+// chunks claimed off an atomic cursor, and every worker writes each node's
+// (outbox, halt) into per-node result slots — no channels, no sorting, no
+// per-round goroutine churn. Message delivery then runs on the coordinating
+// goroutine in ascending vertex order into double-buffered inboxes (the two
+// buffer generations swap each round and their backing arrays are reused),
+// so executions are deterministic for deterministic programs.
 //
 // Round accounting follows the standard send/receive convention: messages
 // sent in step k are received at the end of round k and consumed by step
@@ -208,78 +225,124 @@ func RunSync(nw *Network, ledger *Ledger, phase string, maxRounds int,
 		progs[v] = factory(v)
 		progs[v].Init(NodeInfo{V: v, ID: nw.ID[v], Degree: nw.G.Degree(v), N: n})
 	}
-	halted := make([]bool, n)
 	inboxes := make([][]Inbound, n)
 	nextInboxes := make([][]Inbound, n)
 
-	type result struct {
-		v      int
-		outbox []Outbound
-		halt   bool
+	// active is the list of non-halted nodes, compacted as nodes halt.
+	active := make([]int32, n)
+	for v := range active {
+		active[v] = int32(v)
 	}
+	outboxes := make([][]Outbound, n) // result slot per node, reused
+	halts := make([]bool, n)          // result slot per node
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Long-lived pool: workers block on start, claim chunks of the active
+	// list off the shared cursor, and report completion on done. A recovered
+	// panic is forwarded so Program bugs surface as they did under the
+	// goroutine-per-node engine.
+	var (
+		cursor   atomic.Int64
+		round    int
+		start    = make(chan struct{})
+		done     = make(chan any, workers) // nil or recovered panic value
+		stopPool = make(chan struct{})
+	)
+	step := func() (panicked any) {
+		defer func() { panicked = recover() }()
+		for {
+			lo := cursor.Add(workerChunk) - workerChunk
+			if lo >= int64(len(active)) {
+				return nil
+			}
+			hi := lo + workerChunk
+			if hi > int64(len(active)) {
+				hi = int64(len(active))
+			}
+			for _, v := range active[lo:hi] {
+				outboxes[v], halts[v] = progs[v].Step(round, inboxes[v])
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				select {
+				case <-start:
+					done <- step()
+				case <-stopPool:
+					return
+				}
+			}
+		}()
+	}
+	defer close(stopPool)
+
 	rounds := 0
-	for round := 1; ; round++ {
+	for round = 1; len(active) > 0; round++ {
 		if round > maxRounds {
 			return nil, fmt.Errorf("local: exceeded maxRounds=%d in phase %q", maxRounds, phase)
 		}
-		allHalted := true
-		for v := 0; v < n; v++ {
-			if !halted[v] {
-				allHalted = false
-				break
-			}
-		}
-		if allHalted {
-			break
-		}
 		rounds++
-		results := make(chan result, n)
-		var wg sync.WaitGroup
-		for v := 0; v < n; v++ {
-			if halted[v] {
-				continue
+		cursor.Store(0)
+		for w := 0; w < workers; w++ {
+			start <- struct{}{}
+		}
+		var panicked any
+		for w := 0; w < workers; w++ {
+			if p := <-done; p != nil {
+				panicked = p
 			}
-			wg.Add(1)
-			go func(v int) {
-				defer wg.Done()
-				outbox, halt := progs[v].Step(round, inboxes[v])
-				results <- result{v: v, outbox: outbox, halt: halt}
-			}(v)
 		}
-		wg.Wait()
-		close(results)
+		if panicked != nil {
+			panic(panicked)
+		}
+		// Swap inbox generations: last round's receive buffers become this
+		// round's (cleared) send buffers, reusing their backing arrays. All
+		// n buffers are cleared — halted nodes still receive deliveries
+		// (never read, as before), and clearing keeps those bounded to one
+		// round's worth instead of accumulating for the whole run.
 		for v := range nextInboxes {
-			nextInboxes[v] = nil
+			nextInboxes[v] = nextInboxes[v][:0]
 		}
-		// Drain results deterministically: collect then sort by vertex.
-		collected := make([]result, 0, n)
-		for r := range results {
-			collected = append(collected, r)
-		}
-		sort.Slice(collected, func(i, j int) bool { return collected[i].v < collected[j].v })
 		roundMsgs := 0
-		for _, r := range collected {
-			halted[r.v] = r.halt
-			for _, out := range r.outbox {
+		for _, v32 := range active {
+			v := int(v32)
+			for _, out := range outboxes[v] {
 				if out.Port == Broadcast {
-					for p, w := range nw.G.Neighbors(r.v) {
-						deliver(nw, nextInboxes, r.v, p, int(w), out.Msg)
+					for p, w := range nw.G.Neighbors(v) {
+						deliver(nw, nextInboxes, v, p, int(w), out.Msg)
 						roundMsgs++
 					}
 					continue
 				}
-				if out.Port < 0 || out.Port >= nw.G.Degree(r.v) {
-					panic(fmt.Sprintf("local: node %d sent to invalid port %d", r.v, out.Port))
+				if out.Port < 0 || out.Port >= nw.G.Degree(v) {
+					panic(fmt.Sprintf("local: node %d sent to invalid port %d", v, out.Port))
 				}
-				w := int(nw.G.Neighbors(r.v)[out.Port])
-				deliver(nw, nextInboxes, r.v, out.Port, w, out.Msg)
+				w := int(nw.G.Neighbors(v)[out.Port])
+				deliver(nw, nextInboxes, v, out.Port, w, out.Msg)
 				roundMsgs++
 			}
+			outboxes[v] = nil
 		}
 		if ledger != nil {
 			ledger.recordRoundMessages(roundMsgs)
 		}
 		inboxes, nextInboxes = nextInboxes, inboxes
+		kept := active[:0]
+		for _, v := range active {
+			if !halts[v] {
+				kept = append(kept, v)
+			}
+		}
+		active = kept
 	}
 	if ledger != nil {
 		charge := rounds - 1

@@ -25,7 +25,7 @@ func KColorable(g *graph.Graph, k int) ([]int, bool) {
 	if k <= 0 {
 		return nil, false
 	}
-	deg := g.Degeneracy(nil)
+	deg := g.DegeneracyOrder()
 	order := make([]int, n)
 	for i, v := range deg.Order {
 		order[n-1-i] = v // reverse: high-core vertices first

@@ -60,12 +60,42 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 		inU[v] = true
 	}
 
-	// --- Phase 1: ruling set by bit-level merges.
+	// --- Phase 1: ruling set by bit-level merges. One pooled traversal
+	// serves every group BFS: levels × groups bounded searches with zero
+	// per-search allocation.
+	tr := g.AcquireTraversal()
+	defer g.ReleaseTraversal(tr)
+
+	// Saturation fast path: the merge asks "is some same-group bit-0
+	// candidate within distance < α?". When α−1 is at least the diameter of
+	// the candidate's component, the answer is simply "does its component
+	// hold such a candidate" — an O(1) lookup. With the paper's
+	// α = 2·⌈c·log n⌉+2 this covers almost every query (component diameters
+	// are far below c·log n on the workloads); only components with
+	// diameter upper bound > α−1 fall back to a genuine bounded BFS.
+	compID := make([]int, n)
+	for i := range compID {
+		compID[i] = -1
+	}
+	var compDiamUB []int // 2·ecc(first vertex): an upper bound on diameter
+	for v := 0; v < n; v++ {
+		if (mask != nil && !mask[v]) || compID[v] != -1 {
+			continue
+		}
+		tr.Run([]int{v}, mask, -1)
+		id := len(compDiamUB)
+		for _, u32 := range tr.Order() {
+			compID[u32] = id
+		}
+		compDiamUB = append(compDiamUB, 2*tr.MaxDist())
+	}
+
 	isRuler := make([]bool, n)
 	for _, v := range u {
 		isRuler[v] = true
 	}
 	levels := bits.Len(uint(n)) // IDs are 1..n
+	zeroComps := map[int]bool{} // components holding a bit-0 member, per group
 	for bit := 0; bit < levels; bit++ {
 		// Group rulers by ID prefix above this bit.
 		groups := map[int][]int{}
@@ -77,9 +107,11 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 		for _, members := range groups {
 			var zeros []int
 			hasOne := false
+			clear(zeroComps)
 			for _, v := range members {
 				if (nw.ID[v]>>bit)&1 == 0 {
 					zeros = append(zeros, v)
+					zeroComps[compID[v]] = true
 				} else {
 					hasOne = true
 				}
@@ -87,10 +119,25 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 			if len(zeros) == 0 || !hasOne {
 				continue
 			}
-			// Drop bit-1 members within distance < alpha of a bit-0 member.
-			res := g.BFS(zeros, mask, alpha-1)
+			// Drop bit-1 members within distance < alpha of a bit-0 member:
+			// saturated components by component identity, the rest by BFS.
+			slowZeros := zeros[:0:0]
+			for _, z := range zeros {
+				if compDiamUB[compID[z]] > alpha-1 {
+					slowZeros = append(slowZeros, z)
+				}
+			}
+			if len(slowZeros) > 0 {
+				tr.Run(slowZeros, mask, alpha-1)
+			}
 			for _, v := range members {
-				if (nw.ID[v]>>bit)&1 == 1 && res.Dist[v] >= 0 {
+				if (nw.ID[v]>>bit)&1 != 1 {
+					continue
+				}
+				c := compID[v]
+				if zeroComps[c] && compDiamUB[c] <= alpha-1 {
+					isRuler[v] = false
+				} else if len(slowZeros) > 0 && tr.Reached(v) {
 					isRuler[v] = false
 				}
 			}
@@ -119,9 +166,9 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 	f.Roots = roots
 
 	// --- Phase 2: BFS forest from the rulers, trimmed to U's root paths.
-	res := g.BFS(roots, mask, -1)
+	tr.Run(roots, mask, -1)
 	for _, v := range u {
-		if res.Dist[v] < 0 {
+		if !tr.Reached(v) {
 			return nil, fmt.Errorf("ruling: U vertex %d unreachable from rulers", v)
 		}
 	}
@@ -130,7 +177,7 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 		x := v
 		for x != -1 && !keep[x] {
 			keep[x] = true
-			x = res.Parent[x]
+			x = tr.Parent(x)
 		}
 	}
 	maxDepth := 0
@@ -139,10 +186,10 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 			continue
 		}
 		f.InTree[v] = true
-		f.Parent[v] = res.Parent[v]
-		f.Depth[v] = res.Dist[v]
-		if res.Dist[v] > maxDepth {
-			maxDepth = res.Dist[v]
+		f.Parent[v] = tr.Parent(v)
+		f.Depth[v] = tr.Dist(v)
+		if f.Depth[v] > maxDepth {
+			maxDepth = f.Depth[v]
 		}
 	}
 	f.MaxDepth = maxDepth

@@ -170,12 +170,14 @@ func GreedyInOrder(g *graph.Graph, colors []int, lists [][]int, order []int) err
 // order guarantees every vertex except src has an uncolored neighbor (its
 // BFS parent) at coloring time.
 func reverseBFSOrder(g *graph.Graph, src int, mask []bool) []int {
-	res := g.BFS([]int{src}, mask, -1)
-	order := append([]int(nil), res.Order...)
-	// res.Order is nondecreasing distance; reverse it.
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
+	tr := g.AcquireTraversal()
+	tr.Run([]int{src}, mask, -1)
+	fwd := tr.Order() // nondecreasing distance; emit it reversed
+	order := make([]int, len(fwd))
+	for i, v := range fwd {
+		order[len(fwd)-1-i] = int(v)
 	}
+	g.ReleaseTraversal(tr)
 	return order
 }
 
