@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test bench-smoke bench
+.PHONY: all ci fmt-check vet build test test-race bench-smoke bench serve
 
 all: ci
 
-ci: fmt-check vet build test bench-smoke
+ci: fmt-check vet build test test-race bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -19,6 +19,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages: the serving layer (job
+# scheduler, LRU store, coalescing) and the LOCAL engine's worker pool.
+test-race:
+	$(GO) test -race ./internal/serve/... ./internal/local/...
+
+# Build and launch the HTTP serving layer on :8080 (see README "Serving").
+serve:
+	$(GO) build -o bin/distcolor-serve ./cmd/distcolor-serve
+	./bin/distcolor-serve -addr :8080
 
 # One-iteration benchmark pass over the engine acceptance benchmarks: a
 # smoke test that the benchmark paths still run, not a measurement.

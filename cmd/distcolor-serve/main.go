@@ -1,0 +1,83 @@
+// Command distcolor-serve runs the distcolor serving layer: a long-lived
+// HTTP JSON API that colors sparse graphs under concurrent load, with
+// parse-once graph caching, batched job submission, deterministic job
+// coalescing, and bounded-queue backpressure (see internal/serve).
+//
+// Quickstart:
+//
+//	distcolor-serve -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/graphs \
+//	    -H 'Content-Type: application/json' -d '{"gen":"apollonian:2000","seed":7}'
+//	curl -s -X POST 'localhost:8080/v1/jobs?wait=true' \
+//	    -d '{"graph":"g1","algo":"planar6"}'
+//
+// Endpoints: POST /v1/graphs, POST /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/colors, GET /v1/stats, GET /healthz. The README's
+// "Serving" section documents bodies and semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distcolor/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distcolor-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "coloring worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "job queue depth; full queue answers 429")
+	cacheWeight := flag.Int64("cache", 64<<20, "graph cache bound in adjacency entries (n + 2m per graph)")
+	retain := flag.Int("retain", 4096, "terminal jobs kept for GET /v1/jobs and coalescing")
+	maxUpload := flag.Int64("max-upload", 64<<20, "largest accepted request body in bytes")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		GraphCacheWeight: *cacheWeight,
+		RetainJobs:       *retain,
+		MaxUploadBytes:   *maxUpload,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("distcolor-serve listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -12,22 +12,23 @@
 //	distcolor -load graph.txt -algo gps7
 //
 // Graph files: first line "n", then one "u v" edge per line (0-based).
+//
+// Graph construction and the algorithm dispatch live in
+// internal/serve/runcfg, shared with the distcolor-serve HTTP server
+// (cmd/distcolor-serve), so a CLI run and a server job with the same config
+// produce identical results. The CLI keeps only flag parsing, the
+// chromatic/stats inspection modes, and output formatting.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
 
-	"distcolor"
 	"distcolor/internal/density"
-	"distcolor/internal/gen"
 	"distcolor/internal/graph"
-	"distcolor/internal/local"
 	"distcolor/internal/lower"
-	"distcolor/internal/reduce"
-	"distcolor/internal/seqcolor"
+	"distcolor/internal/serve/runcfg"
 )
 
 func main() {
@@ -50,14 +51,13 @@ func run() error {
 	verbose := flag.Bool("v", false, "print the per-phase round breakdown")
 	flag.Parse()
 
-	rng := rand.New(rand.NewPCG(*seed, 0x2545f4914f6cdd1d))
 	var g *graph.Graph
 	var err error
 	switch {
 	case *load != "":
 		g, err = loadGraph(*load)
 	case *genSpec != "":
-		g, err = gen.ParseSpec(*genSpec, rng)
+		g, err = runcfg.Generate(*genSpec, *seed)
 	default:
 		return fmt.Errorf("need -gen or -load (try -gen apollonian:1000)")
 	}
@@ -66,57 +66,7 @@ func run() error {
 	}
 	fmt.Printf("graph: n=%d m=%d Δ=%d avgdeg=%.2f\n", g.N(), g.M(), g.MaxDegree(), g.AverageDegree())
 
-	var lists [][]int
-	mkLists := func(k int) [][]int {
-		if *listSize == 0 {
-			return nil
-		}
-		p := *palette
-		if p == 0 {
-			p = 2**listSize + 2
-		}
-		out := make([][]int, g.N())
-		for v := range out {
-			perm := rng.Perm(p)
-			out[v] = perm[:k]
-		}
-		return out
-	}
-
-	opts := distcolor.Options{Seed: *seed}
-	var col *distcolor.Coloring
 	switch *algo {
-	case "sparse":
-		lists = mkLists(*d)
-		col, err = distcolor.SparseListColor(g, *d, lists, opts)
-	case "planar6":
-		lists = mkLists(6)
-		col, err = distcolor.Planar6(g, lists, opts)
-	case "trianglefree4":
-		lists = mkLists(4)
-		col, err = distcolor.TriangleFreePlanar4(g, lists, opts)
-	case "girth6":
-		lists = mkLists(3)
-		col, err = distcolor.PlanarGirth6Color3(g, lists, opts)
-	case "arboricity":
-		lists = mkLists(2 * *a)
-		col, err = distcolor.ArboricityColor(g, *a, lists, opts)
-	case "delta":
-		k := g.MaxDegree()
-		lists = mkLists(k)
-		if lists == nil {
-			lists = distcolor.UniformLists(g.N(), k)
-		}
-		col, err = distcolor.DeltaListColor(g, lists, opts)
-	case "nice":
-		lists = niceLists(g, rng)
-		col, err = distcolor.NiceListColor(g, lists, opts)
-	case "gps7":
-		col, err = distcolor.GoldbergPlotkinShannon7(g, opts)
-	case "be":
-		col, err = distcolor.BarenboimElkin(g, *a, *eps, opts)
-	case "randomized":
-		col, err = runRandomized(g, rng)
 	case "chromatic":
 		chi, cerr := lower.ChromaticNumber(g, 8)
 		if cerr != nil {
@@ -126,73 +76,31 @@ func run() error {
 		return nil
 	case "stats":
 		return printStats(g)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
+
+	cfg := runcfg.Config{
+		Algo:     *algo,
+		D:        *d,
+		A:        *a,
+		Eps:      *eps,
+		Seed:     *seed,
+		ListSize: *listSize,
+		Palette:  *palette,
+	}.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	res, err := runcfg.Run(g, cfg)
 	if err != nil {
 		return err
 	}
-	if col.Clique != nil {
-		fmt.Printf("outcome: found K_%d: %v (rounds=%d)\n", len(col.Clique), col.Clique, col.Rounds)
-		return nil
-	}
-	if err := distcolor.Verify(g, col.Colors, lists); err != nil {
-		return fmt.Errorf("OUTPUT INVALID: %w", err)
-	}
-	fmt.Printf("outcome: %s (verified)\n", col)
+	fmt.Printf("outcome: %s\n", res.Summary())
 	if *verbose {
-		for _, p := range col.Phases {
+		for _, p := range res.Phases {
 			fmt.Printf("  %-28s %8d rounds\n", p.Name, p.Rounds)
 		}
 	}
 	return nil
-}
-
-func niceLists(g *graph.Graph, rng *rand.Rand) [][]int {
-	nw := local.NewNetwork(g)
-	out := make([][]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		size := g.Degree(v)
-		if size <= 2 || simplicial(nw, v) {
-			size++
-		}
-		if size < 1 {
-			size = 1
-		}
-		perm := rng.Perm(g.MaxDegree() + 4)
-		out[v] = perm[:size]
-	}
-	return out
-}
-
-func simplicial(nw *local.Network, v int) bool {
-	nbrs := nw.G.Neighbors(v)
-	for i := 0; i < len(nbrs); i++ {
-		for j := i + 1; j < len(nbrs); j++ {
-			if !nw.G.HasEdge(int(nbrs[i]), int(nbrs[j])) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-func runRandomized(g *graph.Graph, rng *rand.Rand) (*distcolor.Coloring, error) {
-	nw := local.NewShuffledNetwork(g, rng)
-	lists := make([][]int, g.N())
-	for v := range lists {
-		perm := rng.Perm(g.MaxDegree() + 4)
-		lists[v] = perm[:g.Degree(v)+1]
-	}
-	ledger := &local.Ledger{}
-	colors, err := reduce.RandomizedListColor(nw, ledger, "randomized", lists, rng.Uint64(), 100000)
-	if err != nil {
-		return nil, err
-	}
-	if err := seqcolor.Verify(g, colors, lists); err != nil {
-		return nil, err
-	}
-	return &distcolor.Coloring{Colors: colors, Rounds: ledger.Rounds()}, nil
 }
 
 func printStats(g *graph.Graph) error {
@@ -217,5 +125,5 @@ func loadGraph(path string) (*graph.Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return graph.Read(f)
+	return graph.ReadEdgeList(f)
 }

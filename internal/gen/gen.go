@@ -269,9 +269,13 @@ func ForestUnion(n, a int, rng *rand.Rand) *graph.Graph {
 }
 
 // RandomRegular returns a random d-regular simple graph on n vertices via
-// the pairing model with double-edge-swap repair (n·d must be even, n > d).
-// Such graphs have mad exactly d. Generation failure (pathological
-// parameters) returns an error.
+// the pairing model with edge-switching repair (n·d must be even, n > d).
+// Such graphs have mad exactly d. The repair walk uses O(1)-amortized
+// bookkeeping — an int64-keyed edge set plus swap-removal of the defect
+// list — so generation is O(n·d) expected end to end (the old repair
+// rescanned the defect list per switch and re-checked duplicates per edge
+// at build time, going quadratic on large n). Generation failure
+// (pathological parameters) returns an error.
 func RandomRegular(n, d int, rng *rand.Rand) (*graph.Graph, error) {
 	if n*d%2 != 0 || d >= n || d < 0 {
 		return nil, fmt.Errorf("gen: invalid regular params n=%d d=%d", n, d)
@@ -280,19 +284,24 @@ func RandomRegular(n, d int, rng *rand.Rand) (*graph.Graph, error) {
 		return graph.NewBuilder(n).Graph(), nil
 	}
 	const maxRestarts = 50
+	stubs := make([]int, 0, n*d)
+	pairs := make([][2]int, n*d/2)
 	for try := 0; try < maxRestarts; try++ {
-		stubs := make([]int, 0, n*d)
+		stubs = stubs[:0]
 		for v := 0; v < n; v++ {
 			for i := 0; i < d; i++ {
 				stubs = append(stubs, v)
 			}
 		}
 		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-		pairs := make([][2]int, 0, n*d/2)
-		for i := 0; i < len(stubs); i += 2 {
-			pairs = append(pairs, [2]int{stubs[i], stubs[i+1]})
+		for i := range pairs {
+			pairs[i] = [2]int{stubs[2*i], stubs[2*i+1]}
 		}
-		if g, ok := repairPairing(n, pairs, rng); ok {
+		if repairPairing(n, pairs, rng) {
+			g, err := graph.NewFromPairs(n, pairs)
+			if err != nil {
+				return nil, fmt.Errorf("gen: repaired pairing still invalid: %w", err)
+			}
 			return g, nil
 		}
 	}
@@ -300,23 +309,47 @@ func RandomRegular(n, d int, rng *rand.Rand) (*graph.Graph, error) {
 }
 
 // repairPairing removes self-loops and duplicate edges from a pairing with
-// random double-edge swaps (degree-preserving); reports failure if repair
-// stalls so the caller can reshuffle.
-func repairPairing(n int, pairs [][2]int, rng *rand.Rand) (*graph.Graph, bool) {
-	seen := map[[2]int]bool{}
-	key := func(u, v int) [2]int {
+// random double-edge switches (degree-preserving), in place; it reports
+// failure if the walk stalls so the caller can reshuffle. The expected
+// number of defects is O(d²) independent of n, and each switch attempt is
+// O(1) — a multiset of edge keys plus swap-removal of the defect list — so
+// repair is a vanishing fraction of generation time. (The old repair
+// rescanned the defect list per switch and, worse, lost track of the
+// surviving copy when a duplicate pair was switched away, forcing a full
+// restart whenever that resurfaced at build time.)
+func repairPairing(n int, pairs [][2]int, rng *rand.Rand) bool {
+	key := func(u, v int) int64 {
 		if u > v {
 			u, v = v, u
 		}
-		return [2]int{u, v}
+		return int64(u)*int64(n) + int64(v)
 	}
+	// cnt is a multiset of the keys of all current pairs (self-loops
+	// included), so switching a duplicate away never orphans the record of
+	// its surviving copy.
+	cnt := make(map[int64]int, len(pairs))
+	// bad holds the indices of defective pairs; badPos[i] is pair i's
+	// position in bad, making any fix an O(1) swap-removal.
 	var bad []int
+	badPos := make(map[int]int)
+	pushBad := func(i int) {
+		badPos[i] = len(bad)
+		bad = append(bad, i)
+	}
+	popBad := func(i int) {
+		p := badPos[i]
+		last := len(bad) - 1
+		bad[p] = bad[last]
+		badPos[bad[p]] = p
+		bad = bad[:last]
+		delete(badPos, i)
+	}
 	for i, p := range pairs {
-		if p[0] == p[1] || seen[key(p[0], p[1])] {
-			bad = append(bad, i)
-			continue
+		k := key(p[0], p[1])
+		if p[0] == p[1] || cnt[k] > 0 {
+			pushBad(i)
 		}
-		seen[key(p[0], p[1])] = true
+		cnt[k]++
 	}
 	budget := 200 * (len(bad) + 1)
 	for len(bad) > 0 && budget > 0 {
@@ -328,40 +361,25 @@ func repairPairing(n int, pairs [][2]int, rng *rand.Rand) (*graph.Graph, bool) {
 		}
 		u, v := pairs[i][0], pairs[i][1]
 		x, y := pairs[j][0], pairs[j][1]
-		// Candidate swap: (u,x) and (v,y). Must not create loops or dups and
-		// must not break a currently-good pair j into a bad one.
-		if u == x || v == y || seen[key(u, x)] || seen[key(v, y)] || key(u, x) == key(v, y) {
+		// Candidate switch: pair i becomes (u,x), pair j becomes (v,y). Both
+		// new edges must be loop-free, unused, and distinct, so the switch
+		// fixes i and leaves j good no matter its prior state.
+		ku, kv := key(u, x), key(v, y)
+		if u == x || v == y || ku == kv || cnt[ku] > 0 || cnt[kv] > 0 {
 			continue
 		}
-		jGood := !(x == y) && seen[key(x, y)]
-		if jGood {
-			delete(seen, key(x, y))
-		}
-		seen[key(u, x)] = true
-		seen[key(v, y)] = true
+		cnt[key(u, v)]--
+		cnt[key(x, y)]--
+		cnt[ku]++
+		cnt[kv]++
 		pairs[i] = [2]int{u, x}
 		pairs[j] = [2]int{v, y}
-		bad = bad[:len(bad)-1]
-		if !jGood {
-			// j was itself bad: it is now fixed too; remove it from bad.
-			for k, b := range bad {
-				if b == j {
-					bad = append(bad[:k], bad[k+1:]...)
-					break
-				}
-			}
+		popBad(i)
+		if _, jBad := badPos[j]; jBad {
+			popBad(j) // j was itself defective and is now fixed too
 		}
 	}
-	if len(bad) > 0 {
-		return nil, false
-	}
-	b := graph.NewBuilder(n)
-	for _, p := range pairs {
-		if !b.AddEdgeOK(p[0], p[1]) {
-			return nil, false
-		}
-	}
-	return b.Graph(), true
+	return len(bad) == 0
 }
 
 // GNP returns the Erdős–Rényi graph G(n, p).

@@ -3,6 +3,7 @@ package gen
 import (
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"distcolor/internal/density"
 	"distcolor/internal/graph"
@@ -299,5 +300,27 @@ func TestCartesianDegrees(t *testing.T) {
 				t.Fatalf("deg(%d,%d)=%d, want %d", u, v, got, want)
 			}
 		}
+	}
+}
+
+// TestRandomRegularLarge is the regression gate for the edge-switching
+// repair rewrite: regular:100000,3 (the ROADMAP pain case) must be fully
+// regular and generate in interactive time. The generous bound still fails
+// immediately if the repair walk ever regresses to quadratic defect fixing.
+func TestRandomRegularLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation in -short mode")
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	start := time.Now()
+	g, err := RandomRegular(100000, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("regular:100000,3 took %v, want well under a second", elapsed)
+	}
+	if g.M() != 150000 || g.MaxDegree() != 3 || g.MinDegree() != 3 {
+		t.Fatalf("not 3-regular: m=%d Δ=%d δ=%d", g.M(), g.MaxDegree(), g.MinDegree())
 	}
 }

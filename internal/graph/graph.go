@@ -49,6 +49,60 @@ func New(n int, edges [][2]int) (*Graph, error) {
 	return b.Graph(), nil
 }
 
+// NewFromPairs builds a graph directly in CSR form from an edge list,
+// skipping the Builder's per-vertex append slices: two counting passes over
+// pairs, then one sort per vertex. Self-loops, duplicate edges and
+// out-of-range endpoints are rejected. This is the O(n+m·log d) bulk path
+// for generators that already hold a full edge list.
+func NewFromPairs(n int, pairs [][2]int) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count")
+	}
+	if 2*len(pairs) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d adjacency entries exceed the int32 CSR limit", 2*len(pairs))
+	}
+	deg := make([]int32, n+1)
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at %d", u)
+		}
+		deg[u+1]++
+		deg[v+1]++
+	}
+	offsets := deg // prefix sums turn counts into offsets in place
+	for v := 1; v <= n; v++ {
+		offsets[v] += offsets[v-1]
+	}
+	neighbors := make([]int32, 2*len(pairs))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, p := range pairs {
+		u, v := int32(p[0]), int32(p[1])
+		neighbors[cursor[u]] = v
+		cursor[u]++
+		neighbors[cursor[v]] = u
+		cursor[v]++
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		adj := neighbors[offsets[v]:offsets[v+1]]
+		if len(adj) > maxDeg {
+			maxDeg = len(adj)
+		}
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		for i := 1; i < len(adj); i++ {
+			if adj[i] == adj[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, adj[i])
+			}
+		}
+	}
+	return newCSR(offsets, neighbors, len(pairs), maxDeg), nil
+}
+
 // MustNew is New, panicking on error. Intended for tests and generators with
 // statically known-valid input.
 func MustNew(n int, edges [][2]int) *Graph {

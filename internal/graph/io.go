@@ -2,10 +2,10 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
+	"math"
 )
 
 // WriteTo serializes the graph in the plain edge-list format: the first
@@ -28,35 +28,40 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// Read parses the plain edge-list format written by WriteTo. Blank lines
-// and lines starting with '#' are ignored.
-func Read(r io.Reader) (*Graph, error) {
+// Read parses the plain edge-list format written by WriteTo. It is
+// ReadEdgeList under the original name, kept for compatibility.
+func Read(r io.Reader) (*Graph, error) { return ReadEdgeList(r) }
+
+// ReadEdgeList streams the plain edge-list format into a Graph: the first
+// non-comment line is the vertex count n, then one "u v" edge per line
+// (0-based, whitespace-separated). Blank lines and lines starting with '#'
+// are ignored. The input is consumed line by line through a bufio.Scanner
+// feeding a Builder directly — no intermediate edge slice is materialized,
+// so memory is bounded by the adjacency structure itself. Lines are parsed
+// byte-wise without per-line string allocation.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	var b *Builder
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 || text[0] == '#' {
 			continue
 		}
 		if b == nil {
-			n, err := strconv.Atoi(text)
-			if err != nil || n < 0 {
+			n, rest, err := parseInt(text)
+			if err != nil || len(bytes.TrimSpace(rest)) != 0 {
 				return nil, fmt.Errorf("graph: line %d: vertex count expected, got %q", line, text)
 			}
 			b = NewBuilder(n)
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) != 2 {
+		u, rest, err1 := parseInt(text)
+		v, rest, err2 := parseInt(bytes.TrimSpace(rest))
+		if err1 != nil || err2 != nil || len(bytes.TrimSpace(rest)) != 0 {
 			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", line, text)
-		}
-		u, err1 := strconv.Atoi(fields[0])
-		v, err2 := strconv.Atoi(fields[1])
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("graph: line %d: bad integers", line)
 		}
 		if err := b.AddEdge(u, v); err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", line, err)
@@ -69,4 +74,22 @@ func Read(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: empty input")
 	}
 	return b.Graph(), nil
+}
+
+// parseInt reads a leading non-negative decimal integer from s and returns
+// it with the unconsumed remainder.
+func parseInt(s []byte) (int, []byte, error) {
+	i, n := 0, 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		d := int(s[i] - '0')
+		if n > (math.MaxInt-d)/10 {
+			return 0, s, fmt.Errorf("graph: integer overflow")
+		}
+		n = n*10 + d
+		i++
+	}
+	if i == 0 {
+		return 0, s, fmt.Errorf("graph: integer expected")
+	}
+	return n, s[i:], nil
 }

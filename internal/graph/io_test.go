@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkReader yields at most k bytes per Read, exercising the scanner's
+// incremental refill path.
+type chunkReader struct {
+	r io.Reader
+	k int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(p) > c.k {
+		p = p[:c.k]
+	}
+	return c.r.Read(p)
+}
+
+func TestReadEdgeListStreams(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 500
+	fmt.Fprintf(&buf, "# generated\n%d\n", n)
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&buf, "%d %d\n", i, i+1)
+	}
+	g, err := ReadEdgeList(&chunkReader{r: &buf, k: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n || g.M() != n-1 {
+		t.Fatalf("got n=%d m=%d, want %d/%d", g.N(), g.M(), n, n-1)
+	}
+	for i := 0; i+1 < n; i++ {
+		if !g.HasEdge(i, i+1) {
+			t.Fatalf("missing edge (%d,%d)", i, i+1)
+		}
+	}
+}
+
+func TestReadEdgeListWhitespaceAndComments(t *testing.T) {
+	in := "  # leading comment\n\n\t 4 \n0\t1\n  2 3 \r\n# done\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"negative count":  "-3\n",
+		"count overflow":  "99999999999999999999\n",
+		"trailing field":  "3\n0 1 junk\n",
+		"negative vertex": "3\n0 -1\n",
+		"duplicate edge":  "3\n0 1\n1 0\n",
+		"missing field":   "3\n0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestNewFromPairs(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {3, 2}, {1, 2}}
+	g, err := NewFromPairs(4, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 || g.MaxDegree() != 2 {
+		t.Fatalf("got %v maxdeg=%d", g, g.MaxDegree())
+	}
+	for _, p := range pairs {
+		if !g.HasEdge(p[0], p[1]) {
+			t.Fatalf("missing edge %v", p)
+		}
+	}
+	// Neighbor views must be sorted, like every Builder-built graph.
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i-1] >= nbrs[i] {
+				t.Fatalf("vertex %d neighbors unsorted: %v", v, nbrs)
+			}
+		}
+	}
+	if _, err := NewFromPairs(3, [][2]int{{0, 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := NewFromPairs(3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := NewFromPairs(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	empty, err := NewFromPairs(2, nil)
+	if err != nil || empty.N() != 2 || empty.M() != 0 {
+		t.Fatalf("empty pairs: %v %v", empty, err)
+	}
+}

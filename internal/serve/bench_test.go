@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeThroughput is the serving-layer acceptance benchmark: a
+// loopback server fielding planar6 jobs on a cached apollonian:2000 graph
+// from 16 concurrent clients. Identical requests coalesce onto one
+// deterministic execution (the serving layer's core trick), so steady-state
+// requests are answered from the retained result; the acceptance bar is
+// ≥ 500 req/s end-to-end through real HTTP. It reports req/s explicitly.
+func BenchmarkServeThroughput(b *testing.B) {
+	benchThroughput(b, func(i int) uint64 { return 1 })
+}
+
+// BenchmarkServeThroughputFresh is the compute-bound companion: every
+// request uses a distinct seed, so nothing coalesces and every job runs the
+// full planar6 pipeline. This measures raw engine throughput through the
+// server, not the 500 req/s acceptance path.
+func BenchmarkServeThroughputFresh(b *testing.B) {
+	var seq atomic.Uint64
+	benchThroughput(b, func(int) uint64 { return seq.Add(1) })
+}
+
+func benchThroughput(b *testing.B, seedFor func(int) uint64) {
+	s := New(Options{Workers: 4, QueueDepth: 4096})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	// Upload once; every job hits the graph cache.
+	upload, _ := json.Marshal(uploadRequest{Gen: "apollonian:2000", Seed: 7})
+	resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", bytes.NewReader(upload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var gj graphJSON
+	if err := json.Unmarshal(raw, &gj); err != nil || resp.StatusCode != http.StatusCreated {
+		b.Fatalf("upload: %d %s", resp.StatusCode, raw)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	post := func(seed uint64) error {
+		body, _ := json.Marshal(map[string]any{"graph": gj.ID, "algo": "planar6", "seed": seed})
+		resp, err := client.Post(ts.URL+"/v1/jobs?wait=true&timeout=60s", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		}
+		var jj jobJSON
+		if err := json.Unmarshal(raw, &jj); err != nil {
+			return err
+		}
+		if jj.Status != StatusDone {
+			return fmt.Errorf("job %s ended %q (%s)", jj.ID, jj.Status, jj.Error)
+		}
+		return nil
+	}
+	if err := post(seedFor(0)); err != nil { // warm: graph cached, result retained
+		b.Fatal(err)
+	}
+
+	b.SetParallelism(16)
+	b.ResetTimer()
+	start := time.Now()
+	var n atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := post(seedFor(int(n.Add(1)))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(n.Load())/elapsed.Seconds(), "req/s")
+	}
+}

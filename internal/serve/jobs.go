@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"distcolor/internal/graph"
+	"distcolor/internal/serve/runcfg"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// Job is one coloring request moving through the scheduler. Fields below
+// the mutex line are guarded by mu; done is closed exactly once when the
+// job reaches a terminal status.
+type Job struct {
+	ID      string
+	GraphID string
+	Cfg     runcfg.Config
+	key     string       // coalescing identity: graph + canonical config
+	g       *graph.Graph // pinned at submit so LRU eviction can't race the run
+
+	done chan struct{}
+
+	mu       sync.Mutex
+	status   JobStatus
+	result   *runcfg.Result
+	errMsg   string
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// JobView is a consistent point-in-time snapshot of a job's observable
+// state, taken under one lock so a job finishing mid-request can never
+// yield a self-contradictory response (e.g. status running next to a
+// result, or a failed status with the error message not yet visible).
+type JobView struct {
+	Status   JobStatus
+	Result   *runcfg.Result
+	Err      string
+	Enqueued time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Snapshot returns a consistent view of the job's state.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		Status:   j.status,
+		Result:   j.result,
+		Err:      j.errMsg,
+		Enqueued: j.enqueued,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// Done is closed when the job reaches done or failed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *runcfg.Result, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = res
+	}
+	// Drop the pinned graph: it was held so LRU eviction could not race the
+	// run, and nothing reads it after this. Keeping it would let up to
+	// RetainJobs terminal jobs hold evicted graphs alive, defeating the
+	// graph store's memory bound under varied-graph traffic.
+	j.g = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// JobRegistry tracks jobs by ID and coalesces identical work: the coloring
+// algorithms are deterministic in (graph, config), so two requests with the
+// same identity are one job. Terminal jobs are retained (and coalesced
+// against) up to a bound, then forgotten oldest-first; queued and running
+// jobs are never evicted.
+type JobRegistry struct {
+	mu       sync.Mutex
+	seq      uint64
+	byID     map[string]*Job
+	byKey    map[string]*Job
+	terminal *list.List // *Job in finish order, oldest at back
+	elems    map[string]*list.Element
+	retain   int
+}
+
+// NewJobRegistry returns a registry retaining up to retain terminal jobs.
+func NewJobRegistry(retain int) *JobRegistry {
+	if retain < 1 {
+		retain = 1
+	}
+	return &JobRegistry{
+		byID:     make(map[string]*Job),
+		byKey:    make(map[string]*Job),
+		terminal: list.New(),
+		elems:    make(map[string]*list.Element),
+		retain:   retain,
+	}
+}
+
+// jobKey is the coalescing identity of a request.
+func jobKey(graphID string, cfg runcfg.Config) string {
+	return fmt.Sprintf("%s|%s", graphID, cfg.Key())
+}
+
+// Intern returns the job for (graphID, cfg): an existing queued, running or
+// successfully-done job with the same identity (coalesced=true), or a fresh
+// queued job registered under a new ID. Failed jobs are not coalesced
+// against, so a retry after a transient failure re-executes. When fresh is
+// set, coalescing is bypassed and a new job is always minted.
+func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, fresh bool) (job *Job, coalesced bool) {
+	key := jobKey(graphID, cfg)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !fresh {
+		if j, ok := r.byKey[key]; ok && j.Status() != StatusFailed {
+			return j, true
+		}
+	}
+	r.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("j%d", r.seq),
+		GraphID:  graphID,
+		Cfg:      cfg,
+		key:      key,
+		g:        g,
+		done:     make(chan struct{}),
+		status:   StatusQueued,
+		enqueued: time.Now(),
+	}
+	r.byID[j.ID] = j
+	// A fresh job must not displace a healthy retained job as the key's
+	// coalescing target: if it is later rolled back by backpressure, the
+	// displaced result would be orphaned and every future identical request
+	// would re-execute. Determinism makes the retained result just as good.
+	if cur, ok := r.byKey[key]; !ok || cur.Status() == StatusFailed {
+		r.byKey[key] = j
+	}
+	return j, false
+}
+
+// Get looks a job up by ID.
+func (r *JobRegistry) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.byID[id]
+	return j, ok
+}
+
+// Release removes a job that was interned but could not be enqueued
+// (backpressure), so the identity maps never point at a job no worker will
+// ever run.
+func (r *JobRegistry) Release(j *Job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byID, j.ID)
+	if r.byKey[j.key] == j {
+		delete(r.byKey, j.key)
+	}
+}
+
+// markTerminal records that j finished and evicts the oldest retained
+// terminal jobs beyond the retention bound.
+func (r *JobRegistry) markTerminal(j *Job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.elems[j.ID] = r.terminal.PushFront(j)
+	for r.terminal.Len() > r.retain {
+		old := r.terminal.Back()
+		oj := old.Value.(*Job)
+		r.terminal.Remove(old)
+		delete(r.elems, oj.ID)
+		delete(r.byID, oj.ID)
+		if r.byKey[oj.key] == oj {
+			delete(r.byKey, oj.key)
+		}
+	}
+}

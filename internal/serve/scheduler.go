@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Enqueue when accepting the batch would exceed
+// the queue depth; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrBatchTooLarge is returned by Enqueue when the batch alone exceeds the
+// queue depth: such a batch can never be admitted, so retrying is futile.
+// The HTTP layer maps it to a non-retryable 413 instead of a 429.
+var ErrBatchTooLarge = errors.New("serve: batch larger than the whole queue")
+
+// ErrClosed is returned by Enqueue after Close.
+var ErrClosed = errors.New("serve: scheduler closed")
+
+// Scheduler runs jobs on a fixed pool of workers fed from a bounded FIFO
+// queue. Enqueue is all-or-nothing for a batch: either every job fits under
+// the depth bound and is queued atomically, or none is and ErrQueueFull is
+// returned — a client whose batch is rejected can retry the whole batch,
+// never half of it.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Job
+	depth  int
+	closed bool
+	wg     sync.WaitGroup
+	exec   func(*Job)
+}
+
+// NewScheduler starts workers goroutines executing exec on queued jobs, in
+// FIFO order, with at most depth jobs waiting.
+func NewScheduler(workers, depth int, exec func(*Job)) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Scheduler{depth: depth, exec: exec}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.exec(j)
+	}
+}
+
+// Enqueue queues all given jobs atomically, or none (ErrQueueFull).
+func (s *Scheduler) Enqueue(jobs ...*Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(jobs) > s.depth {
+		return ErrBatchTooLarge
+	}
+	if len(s.queue)+len(jobs) > s.depth {
+		return ErrQueueFull
+	}
+	s.queue = append(s.queue, jobs...)
+	if len(jobs) == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
+	return nil
+}
+
+// QueueDepth returns the number of jobs waiting (not running).
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Close drains the queue — already-accepted jobs still run — then stops the
+// workers and waits for them.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

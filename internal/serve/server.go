@@ -1,0 +1,519 @@
+// Package serve is the distcolor serving layer: a job engine (bounded
+// worker scheduler, LRU graph store, deterministic job coalescing, serving
+// stats) behind an HTTP JSON API, exposed by cmd/distcolor-serve.
+//
+// The engine exploits two properties of the underlying algorithms:
+//
+//   - Parsing and generation dominate small-job latency, so graphs are
+//     parsed into CSR exactly once and cached in a size-bounded LRU
+//     (GraphStore); jobs reference graphs by ID.
+//   - Every algorithm is deterministic in (graph, config, seed), so
+//     identical requests are one job: concurrent duplicates coalesce onto
+//     the same execution and later duplicates are answered from the
+//     retained result, unless the request sets "fresh".
+//
+// Backpressure is explicit: the scheduler's queue is bounded and a batch
+// that does not fit is rejected whole with 429, never half-enqueued.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"distcolor/internal/graph"
+	"distcolor/internal/serve/runcfg"
+)
+
+// Options configure a Server. The zero value means: GOMAXPROCS workers,
+// queue depth 256, a 64M-entry graph store, 4096 retained jobs, 64 MiB
+// upload cap.
+type Options struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting to run (default 256); batches that
+	// would exceed it are rejected with 429.
+	QueueDepth int
+	// GraphCacheWeight bounds the graph store in adjacency entries, n + 2m
+	// summed over cached graphs (default 64M entries ≈ 256 MiB of int32 CSR).
+	GraphCacheWeight int64
+	// RetainJobs bounds retained terminal jobs (default 4096).
+	RetainJobs int
+	// MaxUploadBytes bounds a graph-upload body (default 64 MiB).
+	MaxUploadBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.GraphCacheWeight <= 0 {
+		o.GraphCacheWeight = 64 << 20
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 4096
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 64 << 20
+	}
+	return o
+}
+
+// Server is the HTTP serving layer. Create with New, close with Close.
+type Server struct {
+	opts  Options
+	store *GraphStore
+	jobs  *JobRegistry
+	sched *Scheduler
+	stats *Stats
+	mux   *http.ServeMux
+
+	// submitMu makes intern→enqueue→rollback one atomic step (see
+	// submitJobs); without it a 429 rollback could release a job another
+	// request just coalesced onto.
+	submitMu sync.Mutex
+
+	// beforeRun, when non-nil, runs in the worker just before a job
+	// executes. Tests use it to hold workers and fill the queue
+	// deterministically.
+	beforeRun func(*Job)
+}
+
+// New builds a ready-to-serve Server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		store: NewGraphStore(opts.GraphCacheWeight),
+		jobs:  NewJobRegistry(opts.RetainJobs),
+		stats: &Stats{},
+		mux:   http.NewServeMux(),
+	}
+	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleUploadGraph)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/colors", s.handleGetColors)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool after draining already-accepted jobs.
+func (s *Server) Close() { s.sched.Close() }
+
+// execute runs one job on a worker.
+func (s *Server) execute(j *Job) {
+	if s.beforeRun != nil {
+		s.beforeRun(j)
+	}
+	j.markRunning()
+	res, err := runcfg.Run(j.g, j.Cfg)
+	j.finish(res, err)
+	s.jobs.markTerminal(j)
+	v := j.Snapshot()
+	s.stats.jobFinished(v.Finished.Sub(v.Enqueued), err != nil)
+}
+
+// ---- wire types ----
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type graphJSON struct {
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	MaxDeg int    `json:"maxdeg"`
+	Cached bool   `json:"cached"`
+}
+
+type uploadRequest struct {
+	Gen  string `json:"gen"`
+	Seed uint64 `json:"seed"`
+}
+
+// jobRequest is one job submission. Exactly one of Graph (an ID returned by
+// POST /v1/graphs) or Gen (an inline generator spec, resolved through the
+// same deduplicating store) names the graph.
+type jobRequest struct {
+	Graph   string `json:"graph,omitempty"`
+	Gen     string `json:"gen,omitempty"`
+	GenSeed uint64 `json:"gen_seed,omitempty"`
+	runcfg.Config
+	// Fresh bypasses result coalescing and forces a re-execution.
+	Fresh bool `json:"fresh,omitempty"`
+}
+
+type phaseJSON struct {
+	Name   string `json:"name"`
+	Rounds int    `json:"rounds"`
+}
+
+type jobJSON struct {
+	ID        string      `json:"id"`
+	Graph     string      `json:"graph"`
+	Algo      string      `json:"algo"`
+	Status    JobStatus   `json:"status"`
+	Coalesced bool        `json:"coalesced,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Colors    int         `json:"colors_used,omitempty"`
+	Rounds    int         `json:"rounds,omitempty"`
+	Verified  bool        `json:"verified,omitempty"`
+	Clique    []int       `json:"clique,omitempty"`
+	Phases    []phaseJSON `json:"phases,omitempty"`
+	QueueMs   float64     `json:"queue_ms,omitempty"`
+	RunMs     float64     `json:"run_ms,omitempty"`
+}
+
+func (s *Server) jobView(j *Job, coalesced bool) jobJSON {
+	v := j.Snapshot()
+	out := jobJSON{
+		ID:        j.ID,
+		Graph:     j.GraphID,
+		Algo:      j.Cfg.Algo,
+		Status:    v.Status,
+		Coalesced: coalesced,
+		Error:     v.Err,
+	}
+	if !v.Started.IsZero() {
+		out.QueueMs = float64(v.Started.Sub(v.Enqueued)) / float64(time.Millisecond)
+	}
+	if !v.Finished.IsZero() && !v.Started.IsZero() {
+		out.RunMs = float64(v.Finished.Sub(v.Started)) / float64(time.Millisecond)
+	}
+	if res := v.Result; res != nil {
+		out.Colors = res.ColorsUsed
+		out.Rounds = res.Rounds
+		out.Verified = res.Verified
+		out.Clique = res.Clique
+		for _, p := range res.Phases {
+			out.Phases = append(out.Phases, phaseJSON{Name: p.Name, Rounds: p.Rounds})
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// ---- handlers ----
+
+// handleUploadGraph accepts either a JSON {"gen": spec, "seed": n} body
+// (Content-Type: application/json) or a raw edge-list body in the
+// graph.ReadEdgeList format (any other content type). The edge list is
+// streamed straight into the CSR builder; it is never buffered whole.
+func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.As(err, new(*http.MaxBytesError)) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, "reading upload body: %v", err)
+			return
+		}
+		var req uploadRequest
+		if err := unmarshalStrict(raw, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		if req.Gen == "" {
+			writeError(w, http.StatusBadRequest, "missing \"gen\" spec")
+			return
+		}
+		id, g, cached, err := s.store.AddSpec(req.Gen, req.Seed, func() (*graph.Graph, error) {
+			return runcfg.Generate(req.Gen, req.Seed)
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, graphJSON{ID: id, N: g.N(), M: g.M(), MaxDeg: g.MaxDegree(), Cached: cached})
+		return
+	}
+	g, err := graph.ReadEdgeList(body)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	id, err := s.store.Add(g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, graphJSON{ID: id, N: g.N(), M: g.M(), MaxDeg: g.MaxDegree()})
+}
+
+// handleSubmitJobs accepts one job object or a batch array of them. The
+// batch is admitted atomically: if the fresh (non-coalesced) jobs do not
+// all fit in the queue, nothing is enqueued and the reply is 429 with a
+// Retry-After hint. With ?wait=true the handler blocks (up to ?timeout,
+// default 30s) until every submitted job is terminal.
+func (s *Server) handleSubmitJobs(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "reading job body: %v", err)
+		return
+	}
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	batch := len(trimmed) > 0 && trimmed[0] == '['
+	var reqs []jobRequest
+	if batch {
+		if err := unmarshalStrict(trimmed, &reqs); err != nil {
+			writeError(w, http.StatusBadRequest, "bad job batch: %v", err)
+			return
+		}
+		if len(reqs) == 0 {
+			writeError(w, http.StatusBadRequest, "empty job batch")
+			return
+		}
+	} else {
+		var single jobRequest
+		if err := unmarshalStrict(trimmed, &single); err != nil {
+			writeError(w, http.StatusBadRequest, "bad job body: %v", err)
+			return
+		}
+		reqs = []jobRequest{single}
+	}
+	s.submitJobs(w, r, reqs, batch)
+}
+
+// unmarshalStrict decodes JSON rejecting unknown fields (typos in algo
+// parameters should fail loudly, not silently run with defaults) and
+// trailing garbage.
+func unmarshalStrict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+type submission struct {
+	job       *Job
+	coalesced bool
+}
+
+func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRequest, batch bool) {
+	// Phase 1, lock-free: resolve graphs (possibly generating inline specs)
+	// and validate configs, so nothing slow or fallible happens while the
+	// submit lock is held.
+	type resolved struct {
+		graphID string
+		g       *graph.Graph
+		cfg     runcfg.Config
+		fresh   bool
+	}
+	work := make([]resolved, 0, len(reqs))
+	for i, req := range reqs {
+		graphID, g, errCode, err := s.resolveGraph(req)
+		if err != nil {
+			writeError(w, errCode, "job %d: %v", i, err)
+			return
+		}
+		cfg := req.Config.WithDefaults()
+		if err := cfg.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		work = append(work, resolved{graphID: graphID, g: g, cfg: cfg, fresh: req.Fresh})
+	}
+
+	// Phase 2, under submitMu: intern and enqueue as one atomic step. The
+	// lock makes Intern→Enqueue→(rollback Release on 429) indivisible, so a
+	// concurrent identical request can never coalesce onto a job that is
+	// about to be released because its batch did not fit the queue.
+	s.submitMu.Lock()
+	subs := make([]submission, 0, len(work))
+	var toEnqueue []*Job
+	for _, rw := range work {
+		job, coalesced := s.jobs.Intern(rw.graphID, rw.g, rw.cfg, rw.fresh)
+		subs = append(subs, submission{job: job, coalesced: coalesced})
+		if !coalesced {
+			toEnqueue = append(toEnqueue, job)
+		}
+	}
+	enqErr := s.sched.Enqueue(toEnqueue...)
+	if enqErr != nil {
+		for _, j := range toEnqueue {
+			s.jobs.Release(j)
+		}
+	}
+	s.submitMu.Unlock()
+
+	if enqErr != nil {
+		s.stats.jobRejected()
+		switch {
+		case errors.Is(enqErr, ErrBatchTooLarge):
+			// Never admissible at this queue depth — retrying is futile.
+			writeError(w, http.StatusRequestEntityTooLarge, "%v (batch %d, depth %d)",
+				enqErr, len(toEnqueue), s.opts.QueueDepth)
+		case errors.Is(enqErr, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v (depth %d)", enqErr, s.opts.QueueDepth)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "%v", enqErr)
+		}
+		return
+	}
+	for range toEnqueue {
+		s.stats.jobEnqueued()
+	}
+	for _, sub := range subs {
+		if sub.coalesced {
+			s.stats.jobCoalesced()
+		}
+	}
+
+	if wait, timeout := parseWait(r); wait {
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+	waitLoop:
+		for _, sub := range subs {
+			select {
+			case <-sub.job.Done():
+			case <-deadline.C:
+				break waitLoop
+			case <-r.Context().Done():
+				break waitLoop
+			}
+		}
+	}
+
+	status := http.StatusAccepted
+	views := make([]jobJSON, len(subs))
+	for i, sub := range subs {
+		views[i] = s.jobView(sub.job, sub.coalesced)
+	}
+	if batch {
+		writeJSON(w, status, views)
+		return
+	}
+	writeJSON(w, status, views[0])
+}
+
+// resolveGraph maps a job request to a cached graph, resolving inline gen
+// specs through the store (parse-once, deduplicated).
+func (s *Server) resolveGraph(req jobRequest) (string, *graph.Graph, int, error) {
+	switch {
+	case req.Graph != "" && req.Gen != "":
+		return "", nil, http.StatusBadRequest, fmt.Errorf("give either \"graph\" or \"gen\", not both")
+	case req.Graph != "":
+		g, ok := s.store.Get(req.Graph)
+		if !ok {
+			return "", nil, http.StatusNotFound, fmt.Errorf("unknown graph %q (upload it via POST /v1/graphs)", req.Graph)
+		}
+		return req.Graph, g, 0, nil
+	case req.Gen != "":
+		id, g, _, err := s.store.AddSpec(req.Gen, req.GenSeed, func() (*graph.Graph, error) {
+			return runcfg.Generate(req.Gen, req.GenSeed)
+		})
+		if err != nil {
+			return "", nil, http.StatusBadRequest, err
+		}
+		return id, g, 0, nil
+	default:
+		return "", nil, http.StatusBadRequest, fmt.Errorf("missing \"graph\" id or \"gen\" spec")
+	}
+}
+
+func parseWait(r *http.Request) (bool, time.Duration) {
+	q := r.URL.Query()
+	if q.Get("wait") != "true" && q.Get("wait") != "1" {
+		return false, 0
+	}
+	timeout := 30 * time.Second
+	if t := q.Get("timeout"); t != "" {
+		if d, err := time.ParseDuration(t); err == nil && d > 0 {
+			timeout = d
+		}
+	}
+	return true, timeout
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobView(j, false))
+}
+
+func (s *Server) handleGetColors(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	v := j.Snapshot()
+	switch {
+	case v.Status == StatusFailed:
+		writeError(w, http.StatusConflict, "job %s failed: %s", j.ID, v.Err)
+	case v.Result == nil:
+		writeError(w, http.StatusConflict, "job %s is %s; colors are available once done", j.ID, v.Status)
+	case v.Result.Clique != nil:
+		writeJSON(w, http.StatusOK, map[string]any{"clique": v.Result.Clique})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"colors": v.Result.Colors})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats.Snapshot()
+	used, capacity := s.store.Used()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":           snap,
+		"queue_depth":    s.sched.QueueDepth(),
+		"queue_capacity": s.opts.QueueDepth,
+		"workers":        s.opts.Workers,
+		"graphs": map[string]any{
+			"cached":          s.store.Len(),
+			"weight_used":     used,
+			"weight_capacity": capacity,
+			"evicted":         s.store.Evicted(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

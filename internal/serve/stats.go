@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent job latencies the percentile estimator
+// retains. Percentiles are over this sliding window, not all time, which is
+// what an operator watching a live service wants.
+const latencyWindow = 2048
+
+// Stats aggregates serving counters and a sliding-window latency
+// distribution. All methods are safe for concurrent use.
+type Stats struct {
+	mu        sync.Mutex
+	enqueued  int64
+	coalesced int64
+	rejected  int64
+	done      int64
+	failed    int64
+	lat       []time.Duration // ring buffer of recent job latencies
+	latNext   int
+}
+
+func (s *Stats) jobEnqueued()  { s.mu.Lock(); s.enqueued++; s.mu.Unlock() }
+func (s *Stats) jobCoalesced() { s.mu.Lock(); s.coalesced++; s.mu.Unlock() }
+func (s *Stats) jobRejected()  { s.mu.Lock(); s.rejected++; s.mu.Unlock() }
+
+func (s *Stats) jobFinished(latency time.Duration, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if failed {
+		s.failed++
+	} else {
+		s.done++
+	}
+	if len(s.lat) < latencyWindow {
+		s.lat = append(s.lat, latency)
+		return
+	}
+	s.lat[s.latNext] = latency
+	s.latNext = (s.latNext + 1) % latencyWindow
+}
+
+// Snapshot is a point-in-time view of the serving statistics.
+type Snapshot struct {
+	JobsEnqueued  int64   `json:"jobs_enqueued"`
+	JobsCoalesced int64   `json:"jobs_coalesced"`
+	JobsRejected  int64   `json:"jobs_rejected"`
+	JobsDone      int64   `json:"jobs_done"`
+	JobsFailed    int64   `json:"jobs_failed"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+}
+
+// Snapshot computes the current counters and p50/p99 latency over the
+// sliding window.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		JobsEnqueued:  s.enqueued,
+		JobsCoalesced: s.coalesced,
+		JobsRejected:  s.rejected,
+		JobsDone:      s.done,
+		JobsFailed:    s.failed,
+	}
+	window := append([]time.Duration(nil), s.lat...)
+	s.mu.Unlock()
+	if len(window) == 0 {
+		return snap
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	snap.LatencyP50Ms = float64(percentile(window, 50)) / float64(time.Millisecond)
+	snap.LatencyP99Ms = float64(percentile(window, 99)) / float64(time.Millisecond)
+	return snap
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted samples.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"distcolor/internal/graph"
+)
+
+// GraphStore caches parsed graphs in CSR form behind opaque IDs so repeated
+// jobs on the same graph never re-parse or re-generate. It is a strict LRU
+// bounded by total adjacency weight (n + 2m summed over residents — a close
+// proxy for resident memory). Evicted graphs stay alive while running jobs
+// hold references; the store just forgets them.
+//
+// Graphs built from a generator spec are additionally deduplicated by
+// (spec, seed): uploading the same spec twice returns the first ID with no
+// rebuild, since generation is deterministic in (spec, seed).
+type GraphStore struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	seq     uint64
+	items   map[string]*list.Element // graph ID → LRU element
+	bySpec  map[string]*list.Element // "spec@seed" → LRU element
+	lru     *list.List               // front = most recent; values are *storedGraph
+	evicted int64
+}
+
+type storedGraph struct {
+	id      string
+	g       *graph.Graph
+	weight  int64
+	specKey string // non-empty for gen-spec graphs (dedup key)
+}
+
+// graphWeight is the store accounting unit for one graph.
+func graphWeight(g *graph.Graph) int64 { return int64(g.N()) + 2*int64(g.M()) }
+
+// NewGraphStore returns a store bounded by capacity adjacency entries
+// (vertices + directed edges). A capacity ≤ 0 panics: a serving layer with
+// no graph cache cannot meet its latency contract.
+func NewGraphStore(capacity int64) *GraphStore {
+	if capacity <= 0 {
+		panic("serve: graph store capacity must be positive")
+	}
+	return &GraphStore{
+		cap:    capacity,
+		items:  make(map[string]*list.Element),
+		bySpec: make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+}
+
+// Add inserts g and returns its fresh ID, evicting least-recently-used
+// residents as needed. Graphs heavier than the whole capacity are rejected.
+func (s *GraphStore) Add(g *graph.Graph) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insert(g, "")
+}
+
+// AddSpec inserts the graph generated from (spec, seed), deduplicating:
+// if that exact pair is already resident its existing ID and graph are
+// returned with cached=true and no graph is built. generate is only called
+// on a miss. The graph is returned directly — callers must not re-Get by
+// ID, since a concurrent insert burst could evict the entry in between.
+func (s *GraphStore) AddSpec(spec string, seed uint64, generate func() (*graph.Graph, error)) (id string, g *graph.Graph, cached bool, err error) {
+	// Seed first: it is digits-only, so the first '@' always delimits it and
+	// a spec containing '@' can never collide with another (spec, seed) pair.
+	key := fmt.Sprintf("%d@%s", seed, spec)
+	s.mu.Lock()
+	if el, ok := s.bySpec[key]; ok {
+		s.lru.MoveToFront(el)
+		sg := el.Value.(*storedGraph)
+		s.mu.Unlock()
+		return sg.id, sg.g, true, nil
+	}
+	s.mu.Unlock()
+	// Generate outside the lock: specs can take a while and the store must
+	// keep serving. A racing identical upload may insert first; re-check.
+	g, err = generate()
+	if err != nil {
+		return "", nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.bySpec[key]; ok {
+		s.lru.MoveToFront(el)
+		sg := el.Value.(*storedGraph)
+		return sg.id, sg.g, true, nil
+	}
+	id, err = s.insert(g, key)
+	if err != nil {
+		return "", nil, false, err
+	}
+	return id, g, false, nil
+}
+
+func (s *GraphStore) insert(g *graph.Graph, specKey string) (string, error) {
+	w := graphWeight(g)
+	if w > s.cap {
+		return "", fmt.Errorf("serve: graph weight %d exceeds store capacity %d", w, s.cap)
+	}
+	for s.used+w > s.cap {
+		oldest := s.lru.Back()
+		if oldest == nil {
+			break
+		}
+		s.remove(oldest)
+		s.evicted++
+	}
+	s.seq++
+	sg := &storedGraph{id: fmt.Sprintf("g%d", s.seq), g: g, weight: w, specKey: specKey}
+	el := s.lru.PushFront(sg)
+	s.items[sg.id] = el
+	if specKey != "" {
+		s.bySpec[specKey] = el
+	}
+	s.used += w
+	return sg.id, nil
+}
+
+func (s *GraphStore) remove(el *list.Element) {
+	sg := el.Value.(*storedGraph)
+	s.lru.Remove(el)
+	delete(s.items, sg.id)
+	if sg.specKey != "" {
+		delete(s.bySpec, sg.specKey)
+	}
+	s.used -= sg.weight
+}
+
+// Get returns the graph for id, bumping its recency.
+func (s *GraphStore) Get(id string) (*graph.Graph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[id]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*storedGraph).g, true
+}
+
+// Len returns the number of resident graphs.
+func (s *GraphStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Used returns the resident adjacency weight and the capacity.
+func (s *GraphStore) Used() (used, capacity int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used, s.cap
+}
+
+// Evicted returns how many graphs the LRU bound has pushed out.
+func (s *GraphStore) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
