@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test test-race bench-smoke bench serve
+.PHONY: all ci fmt-check vet build test test-race smoke bench-smoke bench serve staticcheck
 
 all: ci
 
-ci: fmt-check vet build test test-race bench-smoke
+ci: fmt-check vet build test test-race smoke bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,9 +21,21 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages: the serving layer (job
-# scheduler, LRU store, coalescing) and the LOCAL engine's worker pool.
+# scheduler, LRU store, coalescing, cancellation) and the LOCAL engine's
+# worker pool, plus the root-package cancellation/registry tests.
 test-race:
 	$(GO) test -race ./internal/serve/... ./internal/local/...
+	$(GO) test -race -run 'Cancel|Registry|Deadline|Progress|Luby' .
+
+# Registry-driven CLI smoke: runs every distcolor.Algorithms() entry on its
+# tiny Algorithm.Smoke graph through the same wire path the server uses.
+smoke:
+	$(GO) run ./cmd/distcolor -smoke
+
+# Static analysis (CI runs this via the staticcheck action; locally the
+# module is fetched on demand, so network access is required once).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
 
 # Build and launch the HTTP serving layer on :8080 (see README "Serving").
 serve:

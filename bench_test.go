@@ -6,6 +6,7 @@ package distcolor
 // wall time. `go run ./cmd/experiments` regenerates the full-scale tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"testing"
@@ -58,7 +59,7 @@ func benchPlanar6AtSize(b *testing.B, n int) {
 	rounds := 0
 	for i := 0; i < b.N; i++ {
 		nw := local.NewShuffledNetwork(g, r)
-		res, err := core.Planar6(nw, nil)
+		res, err := core.Planar6(context.Background(), nw, core.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func BenchmarkTheorem13_3Regular_n500(b *testing.B) {
 	b.ResetTimer()
 	rounds := 0
 	for i := 0; i < b.N; i++ {
-		res, err := core.Run(local.NewShuffledNetwork(g, r), core.Config{D: 3})
+		res, err := core.Run(context.Background(), local.NewShuffledNetwork(g, r), core.Config{D: 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkCollectBallsSync(b *testing.B) {
 			nw := local.NewNetwork(g)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := local.CollectBallsSync(nw, nil, "flood", 4); err != nil {
+				if _, err := local.CollectBallsSync(context.Background(), nw, nil, "flood", 4); err != nil {
 					b.Fatal(err)
 				}
 			}

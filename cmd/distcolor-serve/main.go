@@ -12,8 +12,9 @@
 //	    -d '{"graph":"g1","algo":"planar6"}'
 //
 // Endpoints: POST /v1/graphs, POST /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/jobs/{id}/colors, GET /v1/stats, GET /healthz. The README's
-// "Serving" section documents bodies and semantics.
+// DELETE /v1/jobs/{id} (cancel), GET /v1/jobs/{id}/colors (chunk-streamed),
+// GET /v1/algorithms, GET /v1/stats, GET /healthz. The README's "Serving"
+// section documents bodies and semantics.
 package main
 
 import (
@@ -45,6 +46,7 @@ func run() error {
 	cacheWeight := flag.Int64("cache", 64<<20, "graph cache bound in adjacency entries (n + 2m per graph)")
 	retain := flag.Int("retain", 4096, "terminal jobs kept for GET /v1/jobs and coalescing")
 	maxUpload := flag.Int64("max-upload", 64<<20, "largest accepted request body in bytes")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none); exceeded jobs abort within one LOCAL round")
 	flag.Parse()
 
 	srv := serve.New(serve.Options{
@@ -53,6 +55,7 @@ func run() error {
 		GraphCacheWeight: *cacheWeight,
 		RetainJobs:       *retain,
 		MaxUploadBytes:   *maxUpload,
+		JobTimeout:       *jobTimeout,
 	})
 	defer srv.Close()
 

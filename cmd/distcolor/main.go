@@ -8,23 +8,34 @@
 //	distcolor -gen regular:500,3 -algo sparse -d 3 -seed 7
 //	distcolor -gen forests:1000,2 -algo arboricity -a 2
 //	distcolor -gen forests:1000,2 -algo be -a 2 -eps 0.5
+//	distcolor -gen apollonian:100000 -algo planar6 -timeout 2s -progress
 //	distcolor -gen klein:5x9 -algo chromatic
 //	distcolor -load graph.txt -algo gps7
+//	distcolor -list-algos
+//	distcolor -smoke
 //
 // Graph files: first line "n", then one "u v" edge per line (0-based).
 //
-// Graph construction and the algorithm dispatch live in
-// internal/serve/runcfg, shared with the distcolor-serve HTTP server
-// (cmd/distcolor-serve), so a CLI run and a server job with the same config
-// produce identical results. The CLI keeps only flag parsing, the
-// chromatic/stats inspection modes, and output formatting.
+// The set of algorithms, their parameters and their defaults come from the
+// distcolor Algorithm registry, shared with the public API and the
+// distcolor-serve HTTP server (cmd/distcolor-serve), so a CLI run and a
+// server job with the same config produce identical results. -timeout
+// bounds a run (cancellation lands within one LOCAL round); -progress
+// streams live per-phase round totals to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
+	"distcolor"
 	"distcolor/internal/density"
 	"distcolor/internal/graph"
 	"distcolor/internal/lower"
@@ -41,15 +52,39 @@ func main() {
 func run() error {
 	genSpec := flag.String("gen", "", "generator spec, e.g. apollonian:1000, grid:20x30, regular:500,3, forests:800,2, klein:5x9, cyclepower:25, cycle:50, path:50, gallai:6")
 	load := flag.String("load", "", "load an edge-list file instead of generating")
-	algo := flag.String("algo", "planar6", "algorithm: sparse|planar6|trianglefree4|girth6|arboricity|delta|nice|gps7|be|randomized|chromatic|stats")
-	d := flag.Int("d", 6, "sparsity parameter d for -algo sparse")
-	a := flag.Int("a", 2, "arboricity for -algo arboricity/be")
-	eps := flag.Float64("eps", 0.5, "ε for -algo be")
+	algo := flag.String("algo", "planar6", "algorithm: "+strings.Join(runcfg.Algorithms(), "|")+"|chromatic|stats")
+	d := flag.Int("d", 0, "sparsity parameter d for -algo sparse (0 = default)")
+	a := flag.Int("a", 0, "arboricity for -algo arboricity/be (0 = default)")
+	eps := flag.Float64("eps", 0, "ε for -algo be (0 = default)")
+	genus := flag.Int("genus", 0, "Euler genus for -algo genus (0 = default)")
 	seed := flag.Uint64("seed", 1, "seed for generation and ID shuffling")
 	listSize := flag.Int("listsize", 0, "use random lists of this size (0 = uniform palette)")
 	palette := flag.Int("palette", 0, "palette size for random lists (0 = 2·listsize+2)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "stream live phase progress to stderr")
 	verbose := flag.Bool("v", false, "print the per-phase round breakdown")
+	listAlgos := flag.Bool("list-algos", false, "print the registered algorithm names and exit")
+	smoke := flag.Bool("smoke", false, "run every registered algorithm on its tiny smoke graph and exit")
 	flag.Parse()
+
+	if *listAlgos {
+		for _, name := range runcfg.Algorithms() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *smoke {
+		return runSmoke(ctx)
+	}
 
 	var g *graph.Graph
 	var err error
@@ -83,6 +118,7 @@ func run() error {
 		D:        *d,
 		A:        *a,
 		Eps:      *eps,
+		Genus:    *genus,
 		Seed:     *seed,
 		ListSize: *listSize,
 		Palette:  *palette,
@@ -90,15 +126,79 @@ func run() error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	res, err := runcfg.Run(g, cfg)
+	var observe []distcolor.Option
+	if *progress {
+		observe = append(observe, distcolor.WithProgress(newProgressPrinter().observe))
+	}
+	start := time.Now()
+	res, err := runcfg.Run(ctx, g, cfg, observe...)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("run aborted after -timeout %s", *timeout)
+		}
 		return err
 	}
-	fmt.Printf("outcome: %s\n", res.Summary())
+	fmt.Printf("outcome: %s (%.0f ms)\n", res.Summary(), float64(time.Since(start))/float64(time.Millisecond))
 	if *verbose {
 		for _, p := range res.Phases {
 			fmt.Printf("  %-28s %8d rounds\n", p.Name, p.Rounds)
 		}
+	}
+	return nil
+}
+
+// progressPrinter renders live phase progress on stderr, throttled so the
+// (very frequent) one-round layered-pass charges do not flood the terminal.
+type progressPrinter struct {
+	last   time.Time
+	events int
+}
+
+func newProgressPrinter() *progressPrinter { return &progressPrinter{} }
+
+func (p *progressPrinter) observe(e distcolor.PhaseEvent) {
+	p.events++
+	now := time.Now()
+	if now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	fmt.Fprintf(os.Stderr, "\r[%s] %-24s %10d rounds (%d events)", e.Algorithm, e.Phase, e.Rounds, p.events)
+}
+
+// runSmoke runs every registered algorithm on its own tiny smoke graph
+// (Algorithm.Smoke) with default parameters, through the same wire path the
+// server uses, and verifies each outcome. One registry, one loop — a new
+// Register call is automatically covered.
+func runSmoke(ctx context.Context) error {
+	failures := 0
+	for _, a := range distcolor.Algorithms() {
+		if a.Smoke == "" {
+			fmt.Printf("skip %-14s (no smoke spec)\n", a.Name)
+			continue
+		}
+		g, err := runcfg.Generate(a.Smoke, 1)
+		if err != nil {
+			fmt.Printf("FAIL %-14s generating %q: %v\n", a.Name, a.Smoke, err)
+			failures++
+			continue
+		}
+		cfg := runcfg.Config{Algo: a.Name, Seed: 1}.WithDefaults()
+		start := time.Now()
+		res, err := runcfg.Run(ctx, g, cfg)
+		if err != nil {
+			fmt.Printf("FAIL %-14s on %s: %v\n", a.Name, a.Smoke, err)
+			failures++
+			continue
+		}
+		fmt.Printf("ok   %-14s %-16s %s (%.0f ms)\n", a.Name, a.Smoke, res.Summary(),
+			float64(time.Since(start))/float64(time.Millisecond))
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d smoke failure(s)", failures)
 	}
 	return nil
 }

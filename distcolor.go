@@ -3,31 +3,44 @@
 // PODC 2018): deterministic LOCAL-model algorithms that color sparse graphs
 // with an optimal number of colors in polylogarithmically many rounds.
 //
-// Highlights (all exact reproductions of the paper's results):
+// The package is organized around a registry of self-describing Algorithm
+// descriptors (wire name, parameter schema, palette size, paper mapping,
+// run func) and one context-aware entry point:
 //
-//   - SparseListColor: Theorem 1.3 — d-list-coloring of graphs with
-//     mad(G) ≤ d (d ≥ 3, no K_{d+1}) in O(d⁴ log³ n) rounds.
-//   - Planar6 / TriangleFreePlanar4 / PlanarGirth6Color3: Corollary 2.3 —
-//     6, 4 and 3 list-colors for planar graphs in O(log³ n) rounds.
-//   - ArboricityColor: Corollary 1.4 — 2a colors for arboricity-a graphs.
-//   - DeltaListColor: Corollary 2.1 — Δ-list-coloring or a certificate of
+//	col, err := distcolor.Run(ctx, g, "planar6",
+//	    distcolor.WithSeed(7),
+//	    distcolor.WithProgress(func(e distcolor.PhaseEvent) { … }))
+//
+// Cancel ctx to stop a run within one LOCAL round. The CLI (cmd/distcolor)
+// and the HTTP server (cmd/distcolor-serve) dispatch through the same
+// registry, so a name accepted anywhere is accepted everywhere.
+//
+// Built-in algorithms (all exact reproductions of the paper's results):
+//
+//   - sparse: Theorem 1.3 — d-list-coloring of graphs with mad(G) ≤ d
+//     (d ≥ 3, no K_{d+1}) in O(d⁴ log³ n) rounds.
+//   - planar6 / trianglefree4 / girth6: Corollary 2.3 — 6, 4 and 3
+//     list-colors for planar graphs in O(log³ n) rounds.
+//   - arboricity: Corollary 1.4 — 2a colors for arboricity-a graphs.
+//   - genus: Corollary 2.11 — H(g) list-colors for Euler genus g.
+//   - delta: Corollary 2.1 — Δ-list-coloring or a certificate of
 //     infeasibility.
-//   - NiceListColor: Theorem 6.1 — (deg+ε)-list-coloring for nice lists.
-//   - GoldbergPlotkinShannon7 / BarenboimElkin: the baselines the paper
-//     improves upon.
+//   - nice: Theorem 6.1 — (deg+ε)-list-coloring for nice lists.
+//   - gps7 / be / randomized / luby: the baselines the paper improves upon.
 //
 // Every algorithm returns the exact LOCAL round cost it incurred (with a
 // per-phase breakdown) alongside the coloring; colorings are verified
-// internally before being returned.
+// internally before being returned. The historical per-algorithm functions
+// (SparseListColor, Planar6, …) remain as thin wrappers over Run and keep
+// compiling unchanged.
 package distcolor
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
-	"distcolor/internal/be"
 	"distcolor/internal/core"
-	"distcolor/internal/gps"
 	"distcolor/internal/graph"
 	"distcolor/internal/local"
 	"distcolor/internal/seqcolor"
@@ -35,6 +48,14 @@ import (
 
 // Uncolored marks an uncolored vertex in partial colorings.
 const Uncolored = seqcolor.Uncolored
+
+// idStream doubles as the PCG stream constant for seed-derived ID shuffles
+// and for the run RNG (lists, per-node seeds), keeping every historical
+// (seed → result) mapping intact.
+const (
+	idStream   = 0x9e3779b97f4a7c15
+	listStream = idStream
+)
 
 // Graph is an immutable simple undirected graph on vertices 0..N-1.
 type Graph = graph.Graph
@@ -51,11 +72,17 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
 // Coloring is the result of a distributed coloring run.
 type Coloring struct {
+	// Algorithm is the wire name of the algorithm that produced the run
+	// (set by Run).
+	Algorithm string
 	// Colors[v] is v's color; when the algorithm's alternative outcome is a
 	// clique (Theorem 1.3) Colors is nil and Clique is set.
 	Colors []int
 	// Clique is a K_{d+1} certificate, when found.
 	Clique []int
+	// Lists echoes the list assignment the run actually used (nil when the
+	// algorithm fixes its own palette); the coloring is verified against it.
+	Lists [][]int
 	// Rounds is the total LOCAL round cost.
 	Rounds int
 	// Phases is the per-phase round breakdown, largest first.
@@ -72,6 +99,7 @@ func fromResult(res *core.Result) *Coloring {
 	c := &Coloring{
 		Colors: res.Colors,
 		Clique: res.Clique,
+		Lists:  res.Lists,
 		Rounds: res.Ledger.Rounds(),
 	}
 	for _, p := range res.Ledger.ByPhase() {
@@ -80,7 +108,16 @@ func fromResult(res *core.Result) *Coloring {
 	return c
 }
 
-// Options tune a run. The zero value is ready to use.
+func coloringFromLedger(colors []int, ledger *local.Ledger) *Coloring {
+	c := &Coloring{Colors: colors, Rounds: ledger.Rounds()}
+	for _, p := range ledger.ByPhase() {
+		c.Phases = append(c.Phases, Phase{Name: p.Phase, Rounds: p.Rounds})
+	}
+	return c
+}
+
+// Options tune a legacy wrapper run. The zero value is ready to use. New
+// code should call Run with functional options instead.
 type Options struct {
 	// Seed shuffles the node identifiers (0 = identity permutation). The
 	// LOCAL model assigns IDs adversarially; shuffling exercises that.
@@ -90,11 +127,18 @@ type Options struct {
 	BallC float64
 }
 
-func network(g *Graph, opts Options) *local.Network {
-	if opts.Seed == 0 {
+func (o Options) runOptions(extra ...Option) []Option {
+	opts := []Option{WithSeed(o.Seed), WithBallC(o.BallC)}
+	return append(opts, extra...)
+}
+
+// network binds g to an ID assignment: identity for seed 0, a seed-derived
+// shuffle otherwise.
+func network(g *Graph, seed uint64) *local.Network {
+	if seed == 0 {
 		return local.NewNetwork(g)
 	}
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+	rng := rand.New(rand.NewPCG(seed, idStream))
 	return local.NewShuffledNetwork(g, rng)
 }
 
@@ -102,82 +146,50 @@ func network(g *Graph, opts Options) *local.Network {
 // size ≥ d (nil lists = palette {0..d-1}), returns either a proper
 // list-coloring or a K_{d+1} certificate.
 func SparseListColor(g *Graph, d int, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.Run(network(g, opts), core.Config{D: d, Lists: lists, BallC: opts.BallC})
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "sparse", opts.runOptions(WithD(d), WithLists(lists))...)
 }
 
 // Planar6 is Corollary 2.3(1): a 6-list-coloring of a planar graph in
 // O(log³ n) rounds.
 func Planar6(g *Graph, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.Planar6(network(g, opts), lists)
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "planar6", opts.runOptions(WithLists(lists))...)
 }
 
 // TriangleFreePlanar4 is Corollary 2.3(2): 4 list-colors for triangle-free
 // planar graphs.
 func TriangleFreePlanar4(g *Graph, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.TriangleFree4(network(g, opts), lists)
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "trianglefree4", opts.runOptions(WithLists(lists))...)
 }
 
 // PlanarGirth6Color3 is Corollary 2.3(3): 3 list-colors for planar graphs
 // of girth ≥ 6.
 func PlanarGirth6Color3(g *Graph, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.Girth6Planar3(network(g, opts), lists)
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "girth6", opts.runOptions(WithLists(lists))...)
 }
 
 // ArboricityColor is Corollary 1.4: a 2a-list-coloring for graphs of
 // arboricity a ≥ 2.
 func ArboricityColor(g *Graph, a int, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.Arboricity2a(network(g, opts), a, lists)
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "arboricity", opts.runOptions(WithArboricity(a), WithLists(lists))...)
 }
 
 // DeltaListColor is Corollary 2.1: Δ-list-coloring for Δ ≥ 3, or
 // seqcolor.ErrNoColoring when a K_{Δ+1} component is infeasible.
 func DeltaListColor(g *Graph, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.DeltaListColor(network(g, opts), lists, opts.BallC)
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "delta", opts.runOptions(WithLists(lists))...)
 }
 
 // NiceListColor is Theorem 6.1: an L-list-coloring for any nice list
 // assignment (|L(v)| ≥ deg(v), with ≥ deg(v)+1 when deg(v) ≤ 2 or N(v) is a
 // clique) in O(Δ² log³ n) rounds.
 func NiceListColor(g *Graph, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.RunNice(network(g, opts), lists, opts.BallC)
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "nice", opts.runOptions(WithLists(lists))...)
 }
 
 // GenusColor is Corollary 2.11: an H(g)-list-coloring for graphs of Euler
 // genus g ≥ 1. HeawoodNumber exposes H.
 func GenusColor(g *Graph, genus int, lists [][]int, opts Options) (*Coloring, error) {
-	res, err := core.GenusHg(network(g, opts), genus, lists)
-	if err != nil {
-		return nil, err
-	}
-	return fromResult(res), nil
+	return Run(context.Background(), g, "genus", opts.runOptions(WithGenus(genus), WithLists(lists))...)
 }
 
 // HeawoodNumber returns H(g) = ⌊(7+√(24g+1))/2⌋ (Corollary 2.11).
@@ -187,31 +199,13 @@ func HeawoodNumber(genus int) int { return core.HeawoodNumber(genus) }
 // graphs in O(log n · (log* n + c)) rounds (one fewer color needs the
 // paper's machinery).
 func GoldbergPlotkinShannon7(g *Graph, opts Options) (*Coloring, error) {
-	ledger := &local.Ledger{}
-	res, err := gps.Planar7(network(g, opts), ledger)
-	if err != nil {
-		return nil, err
-	}
-	return coloringFromLedger(res.Colors, ledger), nil
+	return Run(context.Background(), g, "gps7", opts.runOptions()...)
 }
 
 // BarenboimElkin is the arboricity baseline: ⌊(2+ε)a⌋+1 colors in
 // O((a/ε) log n) rounds.
 func BarenboimElkin(g *Graph, a int, eps float64, opts Options) (*Coloring, error) {
-	ledger := &local.Ledger{}
-	res, err := be.ColorArb(network(g, opts), ledger, a, eps)
-	if err != nil {
-		return nil, err
-	}
-	return coloringFromLedger(res.Colors, ledger), nil
-}
-
-func coloringFromLedger(colors []int, ledger *local.Ledger) *Coloring {
-	c := &Coloring{Colors: colors, Rounds: ledger.Rounds()}
-	for _, p := range ledger.ByPhase() {
-		c.Phases = append(c.Phases, Phase{Name: p.Phase, Rounds: p.Rounds})
-	}
-	return c
+	return Run(context.Background(), g, "be", opts.runOptions(WithArboricity(a), WithEps(eps))...)
 }
 
 // Verify checks that colors is a proper coloring of g drawn from lists

@@ -1,12 +1,14 @@
 package distcolor_test
 
-// Runnable godoc examples for the three headline entry points. Each builds
-// a small graph satisfying the theorem's hypotheses, runs the distributed
+// Runnable godoc examples for the headline entry points. Each builds a
+// small graph satisfying the theorem's hypotheses, runs the distributed
 // algorithm, and checks the coloring with Verify — exactly the workflow the
 // README quickstart shows.
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"distcolor"
 )
@@ -40,6 +42,46 @@ func ExampleSparseListColor() {
 	// Output:
 	// verified: true
 	// colors ≤ 3: true
+}
+
+// ExampleRun is the registry-driven entry point: pick an algorithm by wire
+// name, tune it with functional options, watch live phase progress, and
+// bound the run with a context. The historical wrappers (SparseListColor,
+// Planar6, …) are shims over exactly this call.
+func ExampleRun() {
+	g := petersen()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	events := 0
+	col, err := distcolor.Run(ctx, g, "sparse",
+		distcolor.WithD(3),    // Theorem 1.3 parameter d
+		distcolor.WithSeed(7), // adversarial ID shuffle
+		distcolor.WithProgress(func(e distcolor.PhaseEvent) { events++ }))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("algorithm:", col.Algorithm)
+	fmt.Println("verified:", distcolor.Verify(g, col.Colors, col.Lists) == nil)
+	fmt.Println("colors ≤ 3:", distcolor.NumColors(col.Colors) <= 3)
+	fmt.Println("saw progress:", events > 0)
+	// Output:
+	// algorithm: sparse
+	// verified: true
+	// colors ≤ 3: true
+	// saw progress: true
+}
+
+// ExampleAlgorithms walks the registry — the single source of truth shared
+// by the public API, the CLI and the HTTP server.
+func ExampleAlgorithms() {
+	for _, a := range distcolor.Algorithms() {
+		if a.Theorem == "Theorem 1.3" {
+			fmt.Println(a.Name, "—", a.Theorem)
+		}
+	}
+	// Output:
+	// sparse — Theorem 1.3
 }
 
 // ExamplePlanar6 6-list-colors the octahedron (a 4-regular planar graph)

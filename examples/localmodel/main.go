@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -26,7 +27,7 @@ func main() {
 	// --- 1. Ball collection by flooding (the LOCAL equivalence).
 	for _, radius := range []int{1, 2, 3} {
 		var lSync, lCentral local.Ledger
-		syncBalls, err := local.CollectBallsSync(nw, &lSync, "flood", radius)
+		syncBalls, err := local.CollectBallsSync(context.Background(), nw, &lSync, "flood", radius)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func main() {
 		lists[v] = perm[:g.Degree(v)+1]
 	}
 	var ledger local.Ledger
-	colors, err := reduce.RandomizedListColor(nw, &ledger, "randcolor", lists, 2024, 1000)
+	colors, err := reduce.RandomizedListColor(context.Background(), nw, &ledger, "randcolor", lists, 2024, 1000)
 	if err != nil {
 		log.Fatal(err)
 	}

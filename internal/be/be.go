@@ -11,6 +11,7 @@
 package be
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -149,15 +150,15 @@ func ColorForests3Product(nw *local.Network, ledger *local.Ledger, phase string,
 // ColorArb is the headline Barenboim–Elkin baseline: a proper coloring with
 // ⌊(2+ε)a⌋+1 colors in O((a/ε) log n) rounds, via H-partition peeling and
 // last-to-first layer coloring (shared with the GPS machinery).
-func ColorArb(nw *local.Network, ledger *local.Ledger, a int, eps float64) (*gps.Result, error) {
+func ColorArb(ctx context.Context, nw *local.Network, ledger *local.Ledger, a int, eps float64) (*gps.Result, error) {
 	if a < 1 || eps <= 0 {
 		return nil, fmt.Errorf("be: need a ≥ 1, ε > 0")
 	}
-	return gps.PeelColor(nw, ledger, "be", Threshold(a, eps))
+	return gps.PeelColor(ctx, nw, ledger, "be", Threshold(a, eps))
 }
 
 // TwoAPlusOne is ColorArb at ε = 1/(a+1): ⌊(2+1/(a+1))a⌋+1 = 2a+1 colors in
 // O(a² log n) rounds, the precise bound quoted in the paper's introduction.
-func TwoAPlusOne(nw *local.Network, ledger *local.Ledger, a int) (*gps.Result, error) {
-	return ColorArb(nw, ledger, a, 1/float64(a+1))
+func TwoAPlusOne(ctx context.Context, nw *local.Network, ledger *local.Ledger, a int) (*gps.Result, error) {
+	return ColorArb(ctx, nw, ledger, a, 1/float64(a+1))
 }

@@ -1,6 +1,7 @@
 package be
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -128,7 +129,7 @@ func TestColorArbHeadline(t *testing.T) {
 		g := gen.ForestUnion(300, a, rng)
 		nw := local.NewShuffledNetwork(g, rng)
 		var ledger local.Ledger
-		res, err := ColorArb(nw, &ledger, a, 0.5)
+		res, err := ColorArb(context.Background(), nw, &ledger, a, 0.5)
 		if err != nil {
 			t.Fatalf("a=%d: %v", a, err)
 		}
@@ -147,7 +148,7 @@ func TestTwoAPlusOne(t *testing.T) {
 	a := 2
 	g := gen.ForestUnion(250, a, rng)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := TwoAPlusOne(nw, nil, a)
+	res, err := TwoAPlusOne(context.Background(), nw, nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,10 +163,10 @@ func TestTwoAPlusOne(t *testing.T) {
 func TestColorArbBadParams(t *testing.T) {
 	g := gen.Path(5)
 	nw := local.NewNetwork(g)
-	if _, err := ColorArb(nw, nil, 0, 0.5); err == nil {
+	if _, err := ColorArb(context.Background(), nw, nil, 0, 0.5); err == nil {
 		t.Error("a=0 accepted")
 	}
-	if _, err := ColorArb(nw, nil, 1, 0); err == nil {
+	if _, err := ColorArb(context.Background(), nw, nil, 1, 0); err == nil {
 		t.Error("ε=0 accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestRunOnCylinderH(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 6))
 	g := gen.CylinderGrid(5, 24)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := TriangleFree4(nw, nil)
+	res, err := TriangleFree4(context.Background(), nw, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestRunMatchesSequentialTheorem12(t *testing.T) {
 			t.Fatalf("trial %d: sequential invalid: %v", trial, err)
 		}
 		nw := local.NewShuffledNetwork(g, rng)
-		res, err := Run(nw, Config{D: d, Lists: lists})
+		res, err := Run(context.Background(), nw, Config{D: d, Lists: lists})
 		if err != nil {
 			t.Fatalf("trial %d: distributed: %v", trial, err)
 		}

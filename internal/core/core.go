@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -45,9 +46,12 @@ var DefaultBallC = 12 / math.Log2(6.0/5.0)
 // too-small ball constant.
 var ErrStalled = errors.New("core: peeling stalled (empty happy set) — hypotheses violated or ball constant too small")
 
-// Config parametrizes Theorem 1.3.
+// Config parametrizes a run. Every entry point of the package takes one
+// (ctx, nw, Config) triple; the corollary wrappers force D from their own
+// parameter and forward everything else.
 type Config struct {
-	// D is the sparsity parameter d ≥ 3 with mad(G) ≤ d.
+	// D is the sparsity parameter d ≥ 3 with mad(G) ≤ d (ignored by the
+	// corollary wrappers, which set it themselves).
 	D int
 	// Lists holds each vertex's color list (|Lists[v]| ≥ D). Nil means the
 	// canonical lists {0, …, D−1} (plain d-coloring).
@@ -59,6 +63,10 @@ type Config struct {
 	// MaxIterations bounds the peeling loop (0 = 8·d³·log n + 64, safely
 	// above the paper's O(d³ log n); the Δ ≤ d case needs only O(d log n)).
 	MaxIterations int
+	// Progress, when non-nil, observes every round charge on the run's
+	// ledger as it lands (live phase progress). Called synchronously; must
+	// be fast and non-blocking.
+	Progress local.ProgressFunc
 }
 
 // IterationStats records one peeling iteration for the Lemma 3.1 experiment.
@@ -94,8 +102,14 @@ type Result struct {
 func (r *Result) Rounds() int { return r.Ledger.Rounds() }
 
 // Run executes Theorem 1.3 on the network. It returns either a coloring or
-// a (d+1)-clique inside Result.
-func Run(nw *local.Network, cfg Config) (*Result, error) {
+// a (d+1)-clique inside Result. Cancellation is cooperative: ctx is checked
+// at every peeling iteration, every extension layer, and every round of the
+// message-passing subroutines, so a cancelled run stops within one round
+// and returns ctx.Err().
+func Run(ctx context.Context, nw *local.Network, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := nw.G
 	n := g.N()
 	if cfg.D < 3 {
@@ -117,7 +131,7 @@ func Run(nw *local.Network, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: vertex %d has list of size %d < d=%d", v, len(lists[v]), d)
 		}
 	}
-	ledger := &local.Ledger{}
+	ledger := &local.Ledger{Progress: cfg.Progress}
 	res := &Result{Ledger: ledger, Lists: lists}
 	if n == 0 {
 		res.Colors = nil
@@ -148,7 +162,7 @@ func Run(nw *local.Network, cfg Config) (*Result, error) {
 	}
 	witness := func(degAlive int, v int) bool { return degAlive <= d-1 }
 	richTest := func(degAlive int, v int) bool { return degAlive <= d }
-	if err := peelAndExtend(nw, res, lists, radius, maxIter, richTest, witness); err != nil {
+	if err := peelAndExtend(ctx, nw, res, lists, radius, maxIter, richTest, witness); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -157,7 +171,7 @@ func Run(nw *local.Network, cfg Config) (*Result, error) {
 // peelAndExtend runs the peeling loop (Lemma 3.1) followed by the reverse
 // extension loop (Lemma 3.2), filling res.Colors and res.Iterations. The
 // rich/witness predicates are those of Theorem 1.3 or Theorem 6.1.
-func peelAndExtend(nw *local.Network, res *Result, lists [][]int,
+func peelAndExtend(ctx context.Context, nw *local.Network, res *Result, lists [][]int,
 	radius, maxIter int,
 	richTest, witness func(degAlive int, v int) bool) error {
 
@@ -176,6 +190,9 @@ func peelAndExtend(nw *local.Network, res *Result, lists [][]int,
 	aliveCount := n
 	var layers []layer
 	for aliveCount > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if len(layers) >= maxIter {
 			return fmt.Errorf("%w (after %d iterations, %d vertices left)", ErrStalled, len(layers), aliveCount)
 		}
@@ -203,10 +220,13 @@ func peelAndExtend(nw *local.Network, res *Result, lists [][]int,
 		alive[v] = false
 	}
 	for i := len(layers) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, v := range layers[i].happy {
 			alive[v] = true
 		}
-		ext, err := extend(nw, ledger, alive, layers[i].rich, layers[i].happy,
+		ext, err := extend(ctx, nw, ledger, alive, layers[i].rich, layers[i].happy,
 			colors, lists, radius)
 		if err != nil {
 			return fmt.Errorf("core: extension at layer %d: %w", i+1, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -26,7 +27,7 @@ func randomLists(n, k, palette int, rng *rand.Rand) [][]int {
 func mustRun(t *testing.T, g *graph.Graph, cfg Config, rng *rand.Rand) *Result {
 	t.Helper()
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := Run(nw, cfg)
+	res, err := Run(context.Background(), nw, cfg)
 	if err != nil {
 		t.Fatalf("Run failed: %v", err)
 	}
@@ -62,7 +63,7 @@ func TestRunGridTriangleFree4(t *testing.T) {
 	g := gen.Grid(15, 15)
 	lists := randomLists(g.N(), 4, 9, rng)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := TriangleFree4(nw, lists)
+	res, err := TriangleFree4(context.Background(), nw, Config{Lists: lists})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunGirth6Planar3(t *testing.T) {
 	}
 	lists := randomLists(g.N(), 3, 7, rng)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := Girth6Planar3(nw, lists)
+	res, err := Girth6Planar3(context.Background(), nw, Config{Lists: lists})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestRunForestUnionCorollary14(t *testing.T) {
 		g := gen.ForestUnion(150, a, rng)
 		lists := randomLists(g.N(), 2*a, 5*a, rng)
 		nw := local.NewShuffledNetwork(g, rng)
-		res, err := Arboricity2a(nw, a, lists)
+		res, err := Arboricity2a(context.Background(), nw, a, Config{Lists: lists})
 		if err != nil {
 			t.Fatalf("a=%d: %v", a, err)
 		}
@@ -156,7 +157,7 @@ func TestRunFindsClique(t *testing.T) {
 	}
 	g := b.Graph()
 	nw := local.NewNetwork(g)
-	res, err := Run(nw, Config{D: 4})
+	res, err := Run(context.Background(), nw, Config{D: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,25 +172,25 @@ func TestRunFindsClique(t *testing.T) {
 func TestRunRejectsBadInput(t *testing.T) {
 	g := gen.Path(5)
 	nw := local.NewNetwork(g)
-	if _, err := Run(nw, Config{D: 2}); err == nil {
+	if _, err := Run(context.Background(), nw, Config{D: 2}); err == nil {
 		t.Error("d=2 accepted")
 	}
 	short := make([][]int, 5)
 	for i := range short {
 		short[i] = []int{0, 1}
 	}
-	if _, err := Run(nw, Config{D: 3, Lists: short}); err == nil {
+	if _, err := Run(context.Background(), nw, Config{D: 3, Lists: short}); err == nil {
 		t.Error("short lists accepted")
 	}
 }
 
 func TestRunEmptyAndTiny(t *testing.T) {
 	empty := graph.MustNew(0, nil)
-	if _, err := Run(local.NewNetwork(empty), Config{D: 3}); err != nil {
+	if _, err := Run(context.Background(), local.NewNetwork(empty), Config{D: 3}); err != nil {
 		t.Fatalf("empty graph: %v", err)
 	}
 	single := graph.MustNew(1, nil)
-	res, err := Run(local.NewNetwork(single), Config{D: 3})
+	res, err := Run(context.Background(), local.NewNetwork(single), Config{D: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestRunEmptyAndTiny(t *testing.T) {
 		t.Error("single vertex uncolored")
 	}
 	edge := graph.MustNew(2, [][2]int{{0, 1}})
-	res, err = Run(local.NewNetwork(edge), Config{D: 3})
+	res, err = Run(context.Background(), local.NewNetwork(edge), Config{D: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestRunNiceLists(t *testing.T) {
 		perm := rng.Perm(g.MaxDegree() + 4)
 		lists[v] = perm[:size]
 	}
-	res, err := RunNice(nw, lists, 0)
+	res, err := RunNice(context.Background(), nw, Config{Lists: lists})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestRunNiceRejectsNonNice(t *testing.T) {
 	g := gen.Path(4) // endpoints have degree 1 ⇒ need 2 colors
 	nw := local.NewNetwork(g)
 	lists := [][]int{{0}, {0, 1}, {0, 1}, {0, 1}}
-	if _, err := RunNice(nw, lists, 0); !errors.Is(err, ErrNotNice) {
+	if _, err := RunNice(context.Background(), nw, Config{Lists: lists}); !errors.Is(err, ErrNotNice) {
 		t.Errorf("want ErrNotNice, got %v", err)
 	}
 }
@@ -284,7 +285,7 @@ func TestDeltaListColorCorollary21(t *testing.T) {
 	n := g.N()
 	lists := randomLists(n, 4, 10, rng)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := DeltaListColor(nw, lists, 0)
+	res, err := DeltaListColor(context.Background(), nw, Config{Lists: lists})
 	if err != nil {
 		// A K5 with jointly-unmatchable 4-lists is legitimately infeasible.
 		if errors.Is(err, seqcolor.ErrNoColoring) {
@@ -301,7 +302,7 @@ func TestDeltaListColorInfeasibleClique(t *testing.T) {
 	g := gen.Complete(5) // Δ=4, identical 4-lists: infeasible
 	nw := local.NewNetwork(g)
 	lists := seqcolor.UniformLists(5, 4)
-	_, err := DeltaListColor(nw, lists, 0)
+	_, err := DeltaListColor(context.Background(), nw, Config{Lists: lists})
 	if !errors.Is(err, seqcolor.ErrNoColoring) {
 		t.Fatalf("want ErrNoColoring, got %v", err)
 	}
@@ -315,7 +316,7 @@ func TestDeltaListColorFeasibleClique(t *testing.T) {
 	for v := range lists {
 		lists[v] = []int{v, v + 1, v + 2, v + 3} // distinct minima ⇒ SDR exists
 	}
-	res, err := DeltaListColor(nw, lists, 0)
+	res, err := DeltaListColor(context.Background(), nw, Config{Lists: lists})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestGenusCorollary211(t *testing.T) {
 	g := gen.CyclePower(60, 3)
 	nw := local.NewShuffledNetwork(g, rng)
 	lists := randomLists(g.N(), HeawoodNumber(2), 16, rng)
-	res, err := GenusHg(nw, 2, lists)
+	res, err := GenusHg(context.Background(), nw, 2, Config{Lists: lists})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestRunSmallBallConstantMayStall(t *testing.T) {
 		t.Fatal(err)
 	}
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := Run(nw, Config{D: 3, BallC: 0.05})
+	res, err := Run(context.Background(), nw, Config{D: 3, BallC: 0.05})
 	if err != nil {
 		if !errors.Is(err, ErrStalled) {
 			t.Fatalf("unexpected error: %v", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"distcolor/internal/graph"
@@ -24,7 +25,7 @@ type extendStats struct {
 // uncolor the forest T; (d+1)-color G[T] to schedule a leaves-to-root greedy
 // recoloring; finally recolor each root's rich ball with the constructive
 // Theorem 1.1 (valid because roots are happy).
-func extend(nw *local.Network, ledger *local.Ledger, alive []bool,
+func extend(ctx context.Context, nw *local.Network, ledger *local.Ledger, alive []bool,
 	rich, happy []int, colors []int, lists [][]int, radius int) (extendStats, error) {
 
 	g := nw.G
@@ -39,7 +40,7 @@ func extend(nw *local.Network, ledger *local.Ledger, alive []bool,
 	// --- Ruling forest: roots pairwise > 2·radius apart so that their rich
 	// balls are disjoint with no edges in between.
 	alpha := 2*radius + 2
-	forest, err := ruling.Compute(nw, ledger, "extend/ruling", richMask, happy, alpha)
+	forest, err := ruling.Compute(ctx, nw, ledger, "extend/ruling", richMask, happy, alpha)
 	if err != nil {
 		return st, fmt.Errorf("ruling forest: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestHappyClassificationMatchesMessagePassing(t *testing.T) {
 			wantHappy := toSet(happy)
 
 			// distributed: flood radius+1 balls, decide locally
-			balls, err := local.CollectBallsSync(nw, nil, "flood", radius+1)
+			balls, err := local.CollectBallsSync(context.Background(), nw, nil, "flood", radius+1)
 			if err != nil {
 				t.Fatalf("%s r=%d: %v", tc.name, radius, err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -57,7 +58,7 @@ func TestQuickTheorem13EndToEnd(t *testing.T) {
 			lists[v] = perm[:in.D]
 		}
 		nw := local.NewNetwork(in.G)
-		res, err := Run(nw, Config{D: in.D, Lists: lists})
+		res, err := Run(context.Background(), nw, Config{D: in.D, Lists: lists})
 		if err != nil {
 			return false
 		}
@@ -82,7 +83,7 @@ func TestQuickLemma31Bound(t *testing.T) {
 			return true
 		}
 		nw := local.NewNetwork(in.G)
-		res, err := Run(nw, Config{D: in.D})
+		res, err := Run(context.Background(), nw, Config{D: in.D})
 		if err != nil {
 			return false
 		}

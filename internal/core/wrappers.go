@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -42,22 +43,26 @@ func ValidateNice(nw *local.Network, lists [][]int) error {
 	return nil
 }
 
-// RunNice is Theorem 6.1: given a nice list assignment on a graph of
-// maximum degree Δ, finds an L-list-coloring in O(Δ² log³ n) rounds. Every
-// vertex is rich; the witness predicate becomes "more colors than remaining
-// degree".
-func RunNice(nw *local.Network, lists [][]int, ballC float64) (*Result, error) {
+// RunNice is Theorem 6.1: given a nice list assignment (cfg.Lists) on a
+// graph of maximum degree Δ, finds an L-list-coloring in O(Δ² log³ n)
+// rounds. Every vertex is rich; the witness predicate becomes "more colors
+// than remaining degree". cfg.D is ignored.
+func RunNice(ctx context.Context, nw *local.Network, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := nw.G
 	n := g.N()
+	lists := cfg.Lists
 	if err := ValidateNice(nw, lists); err != nil {
 		return nil, err
 	}
-	ledger := &local.Ledger{}
+	ledger := &local.Ledger{Progress: cfg.Progress}
 	res := &Result{Ledger: ledger, Lists: lists}
 	if n == 0 {
 		return res, nil
 	}
-	c := ballC
+	c := cfg.BallC
 	if c == 0 {
 		c = DefaultBallC
 	}
@@ -67,23 +72,31 @@ func RunNice(nw *local.Network, lists [][]int, ballC float64) (*Result, error) {
 	}
 	res.Radius = radius
 	delta := g.MaxDegree()
-	maxIter := 8*(delta+2)*int(math.Ceil(math.Log2(float64(n+1)))) + 64
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 8*(delta+2)*int(math.Ceil(math.Log2(float64(n+1)))) + 64
+	}
 	richTest := func(degAlive int, v int) bool { return true }
 	witness := func(degAlive int, v int) bool { return degAlive < len(lists[v]) }
-	if err := peelAndExtend(nw, res, lists, radius, maxIter, richTest, witness); err != nil {
+	if err := peelAndExtend(ctx, nw, res, lists, radius, maxIter, richTest, witness); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// DeltaListColor is Corollary 2.1: given Δ ≥ 3 and a Δ-list assignment,
-// either finds an L-list-coloring or certifies that none exists. K_{Δ+1}
-// components are solved exactly by Hall matching (seqcolor.CliqueListColor);
-// when one is infeasible, seqcolor.ErrNoColoring is returned. All other
-// components go through Theorem 1.3 with d = Δ.
-func DeltaListColor(nw *local.Network, lists [][]int, ballC float64) (*Result, error) {
+// DeltaListColor is Corollary 2.1: given Δ ≥ 3 and a Δ-list assignment
+// (cfg.Lists), either finds an L-list-coloring or certifies that none
+// exists. K_{Δ+1} components are solved exactly by Hall matching
+// (seqcolor.CliqueListColor); when one is infeasible, seqcolor.ErrNoColoring
+// is returned. All other components go through Theorem 1.3 with d = Δ.
+// cfg.D is ignored.
+func DeltaListColor(ctx context.Context, nw *local.Network, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := nw.G
 	n := g.N()
+	lists := cfg.Lists
 	delta := g.MaxDegree()
 	if delta < 3 {
 		return nil, fmt.Errorf("core: Corollary 2.1 requires Δ ≥ 3, got %d", delta)
@@ -93,7 +106,7 @@ func DeltaListColor(nw *local.Network, lists [][]int, ballC float64) (*Result, e
 			return nil, fmt.Errorf("core: vertex %d has list of size %d < Δ=%d", v, len(lists[v]), delta)
 		}
 	}
-	ledger := &local.Ledger{}
+	ledger := &local.Ledger{Progress: cfg.Progress}
 	colors := make([]int, n)
 	for v := range colors {
 		colors[v] = Uncolored
@@ -127,7 +140,7 @@ func DeltaListColor(nw *local.Network, lists [][]int, ballC float64) (*Result, e
 			subLists[i] = lists[v]
 		}
 		nw2 := local.NewNetwork(sub)
-		sres, err := Run(nw2, Config{D: delta, Lists: subLists, BallC: ballC})
+		sres, err := Run(ctx, nw2, Config{D: delta, Lists: subLists, BallC: cfg.BallC, Progress: cfg.Progress})
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +151,7 @@ func DeltaListColor(nw *local.Network, lists [][]int, ballC float64) (*Result, e
 		for i, v := range orig {
 			colors[v] = sres.Colors[i]
 		}
-		ledger.Merge("", sres.Ledger)
+		mergeLedger(ledger, sres.Ledger)
 		res.Radius = sres.Radius
 		res.Iterations = sres.Iterations
 	}
@@ -148,33 +161,47 @@ func DeltaListColor(nw *local.Network, lists [][]int, ballC float64) (*Result, e
 	return res, nil
 }
 
+// mergeLedger folds the sub-run's charges into the outer ledger without
+// re-triggering the Progress observer (the sub-run already reported them
+// live through its own forwarded observer).
+func mergeLedger(dst, src *local.Ledger) {
+	obs := dst.Progress
+	dst.Progress = nil
+	dst.Merge("", src)
+	dst.Progress = obs
+}
+
 // Planar6 is Corollary 2.3(1): 6-list-coloring of planar graphs in
 // O(log³ n) rounds (planar ⇒ mad < 6; a K₇ would be reported, but planar
-// graphs have none). lists == nil means colors {0..5}.
-func Planar6(nw *local.Network, lists [][]int) (*Result, error) {
-	return Run(nw, Config{D: 6, Lists: lists})
+// graphs have none). cfg.Lists == nil means colors {0..5}; cfg.D is forced.
+func Planar6(ctx context.Context, nw *local.Network, cfg Config) (*Result, error) {
+	cfg.D = 6
+	return Run(ctx, nw, cfg)
 }
 
 // TriangleFree4 is Corollary 2.3(2): 4-list-coloring of triangle-free
-// planar graphs (mad < 4).
-func TriangleFree4(nw *local.Network, lists [][]int) (*Result, error) {
-	return Run(nw, Config{D: 4, Lists: lists})
+// planar graphs (mad < 4). cfg.D is forced.
+func TriangleFree4(ctx context.Context, nw *local.Network, cfg Config) (*Result, error) {
+	cfg.D = 4
+	return Run(ctx, nw, cfg)
 }
 
 // Girth6Planar3 is Corollary 2.3(3): 3-list-coloring of planar graphs of
-// girth ≥ 6 (mad < 3).
-func Girth6Planar3(nw *local.Network, lists [][]int) (*Result, error) {
-	return Run(nw, Config{D: 3, Lists: lists})
+// girth ≥ 6 (mad < 3). cfg.D is forced.
+func Girth6Planar3(ctx context.Context, nw *local.Network, cfg Config) (*Result, error) {
+	cfg.D = 3
+	return Run(ctx, nw, cfg)
 }
 
 // Arboricity2a is Corollary 1.4: 2a-list-coloring of arboricity-a graphs
 // (a ≥ 2): mad ≤ 2a and no K_{2a+1} (which has arboricity a+1… more
-// precisely ⌈(2a+1)/2⌉ = a+1 > a).
-func Arboricity2a(nw *local.Network, a int, lists [][]int) (*Result, error) {
+// precisely ⌈(2a+1)/2⌉ = a+1 > a). cfg.D is forced to 2a.
+func Arboricity2a(ctx context.Context, nw *local.Network, a int, cfg Config) (*Result, error) {
 	if a < 2 {
 		return nil, fmt.Errorf("core: Corollary 1.4 requires a ≥ 2 (Linial's path lower bound forbids a = 1)")
 	}
-	return Run(nw, Config{D: 2 * a, Lists: lists})
+	cfg.D = 2 * a
+	return Run(ctx, nw, cfg)
 }
 
 // HeawoodNumber returns H(g) = ⌊(7+√(24g+1))/2⌋, the Heawood bound on the
@@ -186,9 +213,11 @@ func HeawoodNumber(genus int) int {
 // GenusHg is Corollary 2.11: an H(g)-list-coloring of graphs of Euler genus
 // g ≥ 1 in O(log³ n) rounds (mad ≤ (5+√(24g+1))/2 < H(g)). If a K_{H(g)+1}
 // exists the graph is not genus-g and the clique is returned in Result.
-func GenusHg(nw *local.Network, genus int, lists [][]int) (*Result, error) {
+// cfg.D is forced to H(g).
+func GenusHg(ctx context.Context, nw *local.Network, genus int, cfg Config) (*Result, error) {
 	if genus < 1 {
 		return nil, fmt.Errorf("core: Corollary 2.11 requires Euler genus ≥ 1")
 	}
-	return Run(nw, Config{D: HeawoodNumber(genus), Lists: lists})
+	cfg.D = HeawoodNumber(genus)
+	return Run(ctx, nw, cfg)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -54,7 +55,7 @@ func TestIsSimplicial(t *testing.T) {
 func TestDeltaListColorRejectsSmallDelta(t *testing.T) {
 	g := gen.Path(5) // Δ = 2
 	nw := local.NewNetwork(g)
-	if _, err := DeltaListColor(nw, seqcolor.UniformLists(5, 2), 0); err == nil {
+	if _, err := DeltaListColor(context.Background(), nw, Config{Lists: seqcolor.UniformLists(5, 2)}); err == nil {
 		t.Error("Δ=2 accepted (Corollary 2.1 needs Δ ≥ 3)")
 	}
 }
@@ -66,7 +67,7 @@ func TestDeltaListColorRejectsShortLists(t *testing.T) {
 		t.Fatal(err)
 	}
 	nw := local.NewNetwork(g)
-	if _, err := DeltaListColor(nw, seqcolor.UniformLists(20, 3), 0); err == nil {
+	if _, err := DeltaListColor(context.Background(), nw, Config{Lists: seqcolor.UniformLists(20, 3)}); err == nil {
 		t.Error("lists shorter than Δ accepted")
 	}
 }
@@ -74,7 +75,7 @@ func TestDeltaListColorRejectsShortLists(t *testing.T) {
 func TestArboricityRejectsAOne(t *testing.T) {
 	g := gen.Path(10)
 	nw := local.NewNetwork(g)
-	if _, err := Arboricity2a(nw, 1, nil); err == nil {
+	if _, err := Arboricity2a(context.Background(), nw, 1, Config{}); err == nil {
 		t.Error("a=1 accepted — Linial's bound forbids it")
 	}
 }
@@ -82,7 +83,7 @@ func TestArboricityRejectsAOne(t *testing.T) {
 func TestGenusRejectsZero(t *testing.T) {
 	g := gen.Cycle(5)
 	nw := local.NewNetwork(g)
-	if _, err := GenusHg(nw, 0, nil); err == nil {
+	if _, err := GenusHg(context.Background(), nw, 0, Config{}); err == nil {
 		t.Error("genus 0 accepted")
 	}
 }
@@ -108,7 +109,7 @@ func TestRunNiceOnRegular(t *testing.T) {
 		perm := rng.Perm(10)
 		lists[v] = perm[:size]
 	}
-	res, err := RunNice(nw, lists, 0)
+	res, err := RunNice(context.Background(), nw, Config{Lists: lists})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestPlanar6Soak(t *testing.T) {
 	rng := rand.New(rand.NewPCG(4, 5))
 	g := gen.Apollonian(10000, rng)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := Planar6(nw, nil)
+	res, err := Planar6(context.Background(), nw, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -137,14 +138,14 @@ func E1(scale Scale) *Section {
 			}
 			// uniform lists: the d-COLORING claim (≤ d distinct colors)
 			nw := local.NewShuffledNetwork(g, r)
-			res, err := core.Run(nw, core.Config{D: w.d})
+			res, err := core.Run(context.Background(), nw, core.Config{D: w.d})
 			if err != nil {
 				panic(err)
 			}
 			k := mustColors(g, res)
 			// arbitrary lists: the d-LIST-coloring claim (per-vertex compliance)
 			lists := randomLists(g.N(), w.d, 2*w.d+4, r)
-			lres, err := core.Run(local.NewShuffledNetwork(g, r), core.Config{D: w.d, Lists: lists})
+			lres, err := core.Run(context.Background(), local.NewShuffledNetwork(g, r), core.Config{D: w.d, Lists: lists})
 			if err != nil {
 				panic(err)
 			}
@@ -177,18 +178,18 @@ func E2(scale Scale) *Section {
 			g := gen.ForestUnion(n, a, r)
 			certified := density.ArboricityAtMost(g, a)
 			nw := local.NewShuffledNetwork(g, r)
-			res, err := core.Arboricity2a(nw, a, nil)
+			res, err := core.Arboricity2a(context.Background(), nw, a, core.Config{})
 			if err != nil {
 				panic(err)
 			}
 			ours := mustColors(g, res)
 			lists := randomLists(g.N(), 2*a, 4*a+2, r)
-			lres, err := core.Arboricity2a(local.NewShuffledNetwork(g, r), a, lists)
+			lres, err := core.Arboricity2a(context.Background(), local.NewShuffledNetwork(g, r), a, core.Config{Lists: lists})
 			if err != nil {
 				panic(err)
 			}
 			mustColors(g, lres)
-			beRes, err := be.TwoAPlusOne(local.NewShuffledNetwork(g, r), nil, a)
+			beRes, err := be.TwoAPlusOne(context.Background(), local.NewShuffledNetwork(g, r), nil, a)
 			if err != nil {
 				panic(err)
 			}
@@ -221,7 +222,7 @@ func E3(scale Scale) *Section {
 	}
 	lists := randomLists(g.N(), 4, 9, r)
 	nw := local.NewShuffledNetwork(g, r)
-	res, err := core.DeltaListColor(nw, lists, 0)
+	res, err := core.DeltaListColor(context.Background(), nw, core.Config{Lists: lists})
 	if err != nil {
 		panic(err)
 	}
@@ -231,7 +232,7 @@ func E3(scale Scale) *Section {
 	s.Rows = append(s.Rows, fmt.Sprintf("| Δ-list, 4-regular | %d | 4 | colored | true | %d |", n, res.Ledger.Rounds()))
 	// infeasible K5
 	k5 := gen.Complete(5)
-	_, err = core.DeltaListColor(local.NewNetwork(k5), seqcolor.UniformLists(5, 4), 0)
+	_, err = core.DeltaListColor(context.Background(), local.NewNetwork(k5), core.Config{Lists: seqcolor.UniformLists(5, 4)})
 	s.Rows = append(s.Rows, fmt.Sprintf("| K₅ with identical 4-lists | 5 | 4 | %v | — | 2 |", err != nil))
 	// nice lists on a clique-decorated cycle
 	g2 := gen.WithPendantCliques(gen.Cycle(n/4), 4)
@@ -245,7 +246,7 @@ func E3(scale Scale) *Section {
 		perm := r.Perm(g2.MaxDegree() + 4)
 		lists2[v] = perm[:size]
 	}
-	res2, err := core.RunNice(nw2, lists2, 0)
+	res2, err := core.RunNice(context.Background(), nw2, core.Config{Lists: lists2})
 	if err != nil {
 		panic(err)
 	}
@@ -275,13 +276,13 @@ func E4(scale Scale) *Section {
 	for _, n := range sizes(scale, []int{80, 160}, []int{250, 500, 1000, 2000, 4000}) {
 		g := apollonian(n, r)
 		nw := local.NewShuffledNetwork(g, r)
-		res, err := core.Planar6(nw, nil)
+		res, err := core.Planar6(context.Background(), nw, core.Config{})
 		if err != nil {
 			panic(err)
 		}
 		k := mustColors(g, res)
 		lists := randomLists(g.N(), 6, 14, r)
-		lres, err := core.Planar6(local.NewShuffledNetwork(g, r), lists)
+		lres, err := core.Planar6(context.Background(), local.NewShuffledNetwork(g, r), core.Config{Lists: lists})
 		if err != nil {
 			panic(err)
 		}
@@ -306,13 +307,13 @@ func E5(scale Scale) *Section {
 	r := rng(505)
 	run := func(label string, g *graph.Graph) {
 		nw := local.NewShuffledNetwork(g, r)
-		res, err := core.TriangleFree4(nw, nil)
+		res, err := core.TriangleFree4(context.Background(), nw, core.Config{})
 		if err != nil {
 			panic(err)
 		}
 		k := mustColors(g, res)
 		lists := randomLists(g.N(), 4, 9, r)
-		lres, err := core.TriangleFree4(local.NewShuffledNetwork(g, r), lists)
+		lres, err := core.TriangleFree4(context.Background(), local.NewShuffledNetwork(g, r), core.Config{Lists: lists})
 		if err != nil {
 			panic(err)
 		}
@@ -342,13 +343,13 @@ func E6(scale Scale) *Section {
 	for _, base := range sizes(scale, []int{30}, []int{100, 300, 600}) {
 		g := gen.Subdivide(apollonian(base, r), 1)
 		nw := local.NewShuffledNetwork(g, r)
-		res, err := core.Girth6Planar3(nw, nil)
+		res, err := core.Girth6Planar3(context.Background(), nw, core.Config{})
 		if err != nil {
 			panic(err)
 		}
 		k := mustColors(g, res)
 		lists := randomLists(g.N(), 3, 7, r)
-		lres, err := core.Girth6Planar3(local.NewShuffledNetwork(g, r), lists)
+		lres, err := core.Girth6Planar3(context.Background(), local.NewShuffledNetwork(g, r), core.Config{Lists: lists})
 		if err != nil {
 			panic(err)
 		}
@@ -375,14 +376,14 @@ func E7(scale Scale) *Section {
 	for _, n := range sizes(scale, []int{100}, []int{250, 500, 1000, 2000}) {
 		g := apollonian(n, r)
 		ledger := &local.Ledger{}
-		gres, err := gps.Planar7(local.NewShuffledNetwork(g, r), ledger)
+		gres, err := gps.Planar7(context.Background(), local.NewShuffledNetwork(g, r), ledger)
 		if err != nil {
 			panic(err)
 		}
 		if err := seqcolor.Verify(g, gres.Colors, nil); err != nil {
 			panic(err)
 		}
-		pres, err := core.Planar6(local.NewShuffledNetwork(g, r), nil)
+		pres, err := core.Planar6(context.Background(), local.NewShuffledNetwork(g, r), core.Config{})
 		if err != nil {
 			panic(err)
 		}
@@ -413,7 +414,7 @@ func E8(scale Scale) *Section {
 		g := gen.ForestUnion(n, a, r)
 		for _, eps := range []float64{1, 0.5, 1 / float64(a+1)} {
 			nw := local.NewShuffledNetwork(g, r)
-			beRes, err := be.ColorArb(nw, nil, a, eps)
+			beRes, err := be.ColorArb(context.Background(), nw, nil, a, eps)
 			if err != nil {
 				panic(err)
 			}
@@ -421,7 +422,7 @@ func E8(scale Scale) *Section {
 			s.Rows = append(s.Rows, fmt.Sprintf("| %d | %.2f | %d | %d (%d) | — |",
 				a, eps, n, seqcolor.NumColors(beRes.Colors), bound))
 		}
-		pres, err := core.Arboricity2a(local.NewShuffledNetwork(g, r), a, nil)
+		pres, err := core.Arboricity2a(context.Background(), local.NewShuffledNetwork(g, r), a, core.Config{})
 		if err != nil {
 			panic(err)
 		}
@@ -459,7 +460,7 @@ func E9(scale Scale) *Section {
 	for _, c := range cfgs {
 		for _, bc := range []float64{0, 1, 0.25} {
 			nw := local.NewShuffledNetwork(c.g, r)
-			res, err := core.Run(nw, core.Config{D: c.d, BallC: bc})
+			res, err := core.Run(context.Background(), nw, core.Config{D: c.d, BallC: bc})
 			label := fmt.Sprintf("%.2f", bc)
 			if bc == 0 {
 				label = "paper"
@@ -495,7 +496,7 @@ func E10(scale Scale) *Section {
 	n := sizes(scale, []int{120}, []int{1000})[0]
 	g := apollonian(n, r)
 	nw := local.NewShuffledNetwork(g, r)
-	res, err := core.Planar6(nw, nil)
+	res, err := core.Planar6(context.Background(), nw, core.Config{})
 	if err != nil {
 		panic(err)
 	}
@@ -577,13 +578,13 @@ func E16(scale Scale) *Section {
 	r := rng(1616)
 	run := func(label string, g *graph.Graph) {
 		nw := local.NewShuffledNetwork(g, r)
-		res, err := core.GenusHg(nw, 2, nil)
+		res, err := core.GenusHg(context.Background(), nw, 2, core.Config{})
 		if err != nil {
 			panic(err)
 		}
 		k := mustColors(g, res)
 		lists := randomLists(g.N(), core.HeawoodNumber(2), 16, r)
-		lres, err := core.GenusHg(local.NewShuffledNetwork(g, r), 2, lists)
+		lres, err := core.GenusHg(context.Background(), local.NewShuffledNetwork(g, r), 2, core.Config{Lists: lists})
 		if err != nil {
 			panic(err)
 		}

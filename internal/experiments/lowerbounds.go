@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"distcolor/internal/embed"
@@ -167,7 +168,7 @@ func randomizedSection(scale Scale) *Section {
 			lists[v] = perm[:g.Degree(v)+1]
 		}
 		ledger := &local.Ledger{}
-		colors, err := reduce.RandomizedListColor(nw, ledger, "rand", lists, uint64(n), 10000)
+		colors, err := reduce.RandomizedListColor(context.Background(), nw, ledger, "rand", lists, uint64(n), 10000)
 		if err != nil {
 			panic(err)
 		}

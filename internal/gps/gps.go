@@ -11,6 +11,7 @@
 package gps
 
 import (
+	"context"
 	"fmt"
 
 	"distcolor/internal/local"
@@ -26,8 +27,12 @@ type Result struct {
 // PeelColor colors the graph with k+1 colors ({0..k}) provided peeling
 // degree-≤k vertices exhausts the graph (true iff degeneracy(G) ≤ k). It
 // errors out otherwise. Rounds charged: one per peeling layer, plus the
-// within-layer scheduling cost.
-func PeelColor(nw *local.Network, ledger *local.Ledger, phase string, k int) (*Result, error) {
+// within-layer scheduling cost. Cancellation is cooperative, checked once
+// per peeling layer and once per layer-coloring pass.
+func PeelColor(ctx context.Context, nw *local.Network, ledger *local.Ledger, phase string, k int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := nw.G
 	n := g.N()
 	if k < 0 {
@@ -48,6 +53,9 @@ func PeelColor(nw *local.Network, ledger *local.Ledger, phase string, k int) (*R
 	}
 	layers := 0
 	for aliveCount > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		layers++
 		var peel []int
 		for v := 0; v < n; v++ {
@@ -81,6 +89,9 @@ func PeelColor(nw *local.Network, ledger *local.Ledger, phase string, k int) (*R
 		colors[v] = reduce.Uncolored
 	}
 	for l := layers; l >= 1; l-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mask := make([]bool, n)
 		for v := 0; v < n; v++ {
 			mask[v] = layerOf[v] == l
@@ -126,6 +137,6 @@ func PeelColor(nw *local.Network, ledger *local.Ledger, phase string, k int) (*R
 // Planar7 is the GPS 7-coloring baseline for planar graphs: PeelColor with
 // k=6 (planar graphs always keep ≥ n/7 vertices of degree ≤ 6, so the layer
 // count is O(log n)).
-func Planar7(nw *local.Network, ledger *local.Ledger) (*Result, error) {
-	return PeelColor(nw, ledger, "gps7", 6)
+func Planar7(ctx context.Context, nw *local.Network, ledger *local.Ledger) (*Result, error) {
+	return PeelColor(ctx, nw, ledger, "gps7", 6)
 }

@@ -1,6 +1,7 @@
 package gps
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -17,7 +18,7 @@ func TestPlanar7Apollonian(t *testing.T) {
 		g := gen.Apollonian(n, rng)
 		nw := local.NewShuffledNetwork(g, rng)
 		var ledger local.Ledger
-		res, err := Planar7(nw, &ledger)
+		res, err := Planar7(context.Background(), nw, &ledger)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -39,7 +40,7 @@ func TestPeelColorGrid(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	g := gen.Grid(20, 20)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := PeelColor(nw, nil, "t", 2) // grids are 2-degenerate
+	res, err := PeelColor(context.Background(), nw, nil, "t", 2) // grids are 2-degenerate
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestPeelColorGrid(t *testing.T) {
 func TestPeelColorStalls(t *testing.T) {
 	g := gen.Complete(6) // 5-degenerate
 	nw := local.NewNetwork(g)
-	if _, err := PeelColor(nw, nil, "t", 3); err == nil {
+	if _, err := PeelColor(context.Background(), nw, nil, "t", 3); err == nil {
 		t.Error("expected stall on K6 with k=3")
 	}
 }
@@ -63,7 +64,7 @@ func TestPeelColorColorBoundPerVertex(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 3))
 	g := gen.Apollonian(300, rng)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := PeelColor(nw, nil, "t", 6)
+	res, err := PeelColor(context.Background(), nw, nil, "t", 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestPeelColorTree(t *testing.T) {
 	rng := rand.New(rand.NewPCG(4, 4))
 	g := gen.RandomTree(500, rng)
 	nw := local.NewShuffledNetwork(g, rng)
-	res, err := PeelColor(nw, nil, "t", 1)
+	res, err := PeelColor(context.Background(), nw, nil, "t", 1)
 	if err != nil {
 		t.Fatal(err)
 	}

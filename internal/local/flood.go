@@ -1,6 +1,7 @@
 package local
 
 import (
+	"context"
 	"sort"
 
 	"distcolor/internal/graph"
@@ -239,8 +240,8 @@ func edgeIDKey(a, b int) [2]int {
 // radius+1 rounds and returns each node's collected BallGraph. It charges
 // radius+1 rounds. Intended for tests and small graphs (message sizes grow
 // with ball sizes, as the LOCAL model allows).
-func CollectBallsSync(nw *Network, ledger *Ledger, phase string, radius int) ([]BallGraph, error) {
-	outs, err := RunSync(nw, ledger, phase, radius+3, func(v int) Program {
+func CollectBallsSync(ctx context.Context, nw *Network, ledger *Ledger, phase string, radius int) ([]BallGraph, error) {
+	outs, err := RunSync(ctx, nw, ledger, phase, radius+3, func(v int) Program {
 		return &floodProgram{rounds: radius + 1}
 	})
 	if err != nil {

@@ -21,6 +21,7 @@
 package local
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -77,6 +78,12 @@ type PhaseCost struct {
 	Rounds int
 }
 
+// ProgressFunc observes round charges as they land on a ledger: phase is the
+// charged phase name, delta the rounds just charged, total the cumulative
+// rounds so far. Observers run synchronously on the charging goroutine and
+// must be fast and non-blocking.
+type ProgressFunc func(phase string, delta, total int)
+
 // Ledger accumulates the LOCAL round cost of an algorithm execution, with a
 // per-phase breakdown, plus message statistics for the message-passing
 // engine (the LOCAL model does not bound message size; the ledger records
@@ -88,6 +95,11 @@ type Ledger struct {
 
 	messages     int // messages delivered by RunSync
 	maxRoundMsgs int // largest per-round total message count
+
+	// Progress, when non-nil, is invoked on every non-zero Charge. Set it
+	// before handing the ledger to an engine; it is how live phase progress
+	// reaches distcolor.WithProgress observers.
+	Progress ProgressFunc
 }
 
 // Messages returns the number of point-to-point messages delivered by the
@@ -114,9 +126,12 @@ func (l *Ledger) Charge(phase string, rounds int) {
 	l.total += rounds
 	if k := len(l.phases); k > 0 && l.phases[k-1].Phase == phase {
 		l.phases[k-1].Rounds += rounds
-		return
+	} else {
+		l.phases = append(l.phases, PhaseCost{Phase: phase, Rounds: rounds})
 	}
-	l.phases = append(l.phases, PhaseCost{Phase: phase, Rounds: rounds})
+	if l.Progress != nil && rounds > 0 {
+		l.Progress(phase, rounds, l.total)
+	}
 }
 
 // Rounds returns the total rounds charged.
@@ -217,8 +232,16 @@ const workerChunk = 64
 // sent in step k are received at the end of round k and consumed by step
 // k+1, so an execution of S steps corresponds to S-1 communication rounds
 // (the final step is the output phase).
-func RunSync(nw *Network, ledger *Ledger, phase string, maxRounds int,
+//
+// Cancellation is cooperative and per-round: ctx is checked at the top of
+// every round, so a cancelled execution stops within one round, returns
+// ctx.Err(), and leaves no worker goroutines behind (the pool is torn down
+// on every return path). Partial executions charge nothing to the ledger.
+func RunSync(ctx context.Context, nw *Network, ledger *Ledger, phase string, maxRounds int,
 	factory func(v int) Program) ([]any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := nw.G.N()
 	progs := make([]Program, n)
 	for v := 0; v < n; v++ {
@@ -287,6 +310,9 @@ func RunSync(nw *Network, ledger *Ledger, phase string, maxRounds int,
 
 	rounds := 0
 	for round = 1; len(active) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if round > maxRounds {
 			return nil, fmt.Errorf("local: exceeded maxRounds=%d in phase %q", maxRounds, phase)
 		}

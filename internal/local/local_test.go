@@ -1,6 +1,7 @@
 package local
 
 import (
+	"context"
 	"math/rand/v2"
 	"reflect"
 	"testing"
@@ -34,7 +35,7 @@ func TestRunSyncEcho(t *testing.T) {
 	g := gen.Cycle(5)
 	nw := NewNetwork(g)
 	var ledger Ledger
-	outs, err := RunSync(nw, &ledger, "echo", 10, func(v int) Program { return &echoProgram{} })
+	outs, err := RunSync(context.Background(), nw, &ledger, "echo", 10, func(v int) Program { return &echoProgram{} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestRunSyncDeterministic(t *testing.T) {
 	g := gen.Grid(4, 5)
 	nw := NewNetwork(g)
 	run := func() []any {
-		outs, err := RunSync(nw, nil, "", 10, func(v int) Program { return &echoProgram{} })
+		outs, err := RunSync(context.Background(), nw, nil, "", 10, func(v int) Program { return &echoProgram{} })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestRunSyncMaxRounds(t *testing.T) {
 	// a program that never halts must trip maxRounds
 	g := gen.Path(3)
 	nw := NewNetwork(g)
-	_, err := RunSync(nw, nil, "forever", 5, func(v int) Program { return &foreverProgram{} })
+	_, err := RunSync(context.Background(), nw, nil, "forever", 5, func(v int) Program { return &foreverProgram{} })
 	if err == nil {
 		t.Error("expected maxRounds error")
 	}
@@ -153,7 +154,7 @@ func TestBallCollectionEquivalence(t *testing.T) {
 	for _, tc := range graphs {
 		for _, radius := range []int{0, 1, 2, 3} {
 			var l1, l2 Ledger
-			syncBalls, err := CollectBallsSync(tc.nw, &l1, "sync", radius)
+			syncBalls, err := CollectBallsSync(context.Background(), tc.nw, &l1, "sync", radius)
 			if err != nil {
 				t.Fatalf("%s r=%d: %v", tc.name, radius, err)
 			}

@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 
 	"distcolor/internal/local"
@@ -83,10 +84,10 @@ func (p *linialProgram) Output() any { return p.color }
 // returns the coloring plus the final palette size. Semantically identical
 // to LinialColor (same fixpoint palette); used for cross-validation and the
 // CONGEST narrative.
-func LinialColorSync(nw *local.Network, ledger *local.Ledger, phase string) ([]int, int, error) {
+func LinialColorSync(ctx context.Context, nw *local.Network, ledger *local.Ledger, phase string) ([]int, int, error) {
 	g := nw.G
 	d := g.MaxDegree()
-	outs, err := local.RunSync(nw, ledger, phase, 64, func(v int) local.Program {
+	outs, err := local.RunSync(ctx, nw, ledger, phase, 64, func(v int) local.Program {
 		return &linialProgram{d: d}
 	})
 	if err != nil {

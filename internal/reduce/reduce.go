@@ -14,6 +14,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -263,7 +264,7 @@ func VerifyMaskColoring(g *graph.Graph, mask []bool, colors []int) error {
 // neighbor proposed or holds the same color; finalized colors are removed
 // from neighbors' lists. Requires |lists[v]| ≥ deg(v)+1. Completes in
 // O(log n) rounds with high probability; maxRounds bounds the run.
-func RandomizedListColor(nw *local.Network, ledger *local.Ledger, phase string,
+func RandomizedListColor(ctx context.Context, nw *local.Network, ledger *local.Ledger, phase string,
 	lists [][]int, seed uint64, maxRounds int) ([]int, error) {
 	g := nw.G
 	for v := 0; v < g.N(); v++ {
@@ -271,7 +272,7 @@ func RandomizedListColor(nw *local.Network, ledger *local.Ledger, phase string,
 			return nil, fmt.Errorf("reduce: vertex %d list %d < deg+1=%d", v, len(lists[v]), g.Degree(v)+1)
 		}
 	}
-	outs, err := local.RunSync(nw, ledger, phase, maxRounds, func(v int) local.Program {
+	outs, err := local.RunSync(ctx, nw, ledger, phase, maxRounds, func(v int) local.Program {
 		return &randColorProgram{list: append([]int(nil), lists[v]...), seed: seed}
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -160,7 +161,7 @@ func TestRandomizedListColor(t *testing.T) {
 			lists[v] = perm[:g.Degree(v)+1]
 		}
 		var ledger local.Ledger
-		colors, err := RandomizedListColor(nw, &ledger, "rand", lists, 42, 500)
+		colors, err := RandomizedListColor(context.Background(), nw, &ledger, "rand", lists, 42, 500)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -188,7 +189,7 @@ func TestRandomizedListColorRejectsShortLists(t *testing.T) {
 	for v := range lists {
 		lists[v] = []int{0, 1} // deg+1 = 3 needed
 	}
-	if _, err := RandomizedListColor(nw, nil, "", lists, 1, 100); err == nil {
+	if _, err := RandomizedListColor(context.Background(), nw, nil, "", lists, 1, 100); err == nil {
 		t.Error("short lists accepted")
 	}
 }
@@ -234,7 +235,7 @@ func TestLinialSyncMatchesCentral(t *testing.T) {
 	for i, g := range cases {
 		nw := local.NewShuffledNetwork(g, rng)
 		var l1, l2 local.Ledger
-		syncColors, syncK, err := LinialColorSync(nw, &l1, "sync")
+		syncColors, syncK, err := LinialColorSync(context.Background(), nw, &l1, "sync")
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -265,7 +266,7 @@ func TestLinialSyncMatchesCentral(t *testing.T) {
 func TestLinialSyncEdgeless(t *testing.T) {
 	g := graph.MustNew(4, nil)
 	nw := local.NewNetwork(g)
-	colors, k, err := LinialColorSync(nw, nil, "")
+	colors, k, err := LinialColorSync(context.Background(), nw, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package ruling
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -41,9 +42,13 @@ type Forest struct {
 // Compute builds an (α, O(α log n))-ruling forest of the masked graph with
 // respect to U. IDs come from the network (nw.ID); mask restricts the graph
 // (nil = all vertices); every u ∈ U must satisfy the mask. Rounds are
-// charged to the ledger under the given phase.
-func Compute(nw *local.Network, ledger *local.Ledger, phase string,
+// charged to the ledger under the given phase. Cancellation is cooperative:
+// ctx is checked once per bit level (each level costs α LOCAL rounds).
+func Compute(ctx context.Context, nw *local.Network, ledger *local.Ledger, phase string,
 	mask []bool, u []int, alpha int) (*Forest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := nw.G
 	n := g.N()
 	if alpha < 1 {
@@ -97,6 +102,9 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 	levels := bits.Len(uint(n)) // IDs are 1..n
 	zeroComps := map[int]bool{} // components holding a bit-0 member, per group
 	for bit := 0; bit < levels; bit++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Group rulers by ID prefix above this bit.
 		groups := map[int][]int{}
 		for v := 0; v < n; v++ {
@@ -205,9 +213,9 @@ func Compute(nw *local.Network, ledger *local.Ledger, phase string,
 // maximal-independent-set-grade symmetry-breaking primitive, obtained here
 // deterministically from the same AGLP machinery (α = 2 makes "distance
 // ≥ α" mean exactly "non-adjacent").
-func IndependentRulingSet(nw *local.Network, ledger *local.Ledger, phase string,
+func IndependentRulingSet(ctx context.Context, nw *local.Network, ledger *local.Ledger, phase string,
 	mask []bool, u []int) ([]int, error) {
-	f, err := Compute(nw, ledger, phase, mask, u, 2)
+	f, err := Compute(ctx, nw, ledger, phase, mask, u, 2)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package ruling
 
 import (
+	"context"
 	"math/bits"
 	"math/rand/v2"
 	"testing"
@@ -22,7 +23,7 @@ func TestRulingForestPath(t *testing.T) {
 	g := gen.Path(50)
 	nw := local.NewNetwork(g)
 	var ledger local.Ledger
-	f, err := Compute(nw, &ledger, "ruling", nil, allVertices(g), 5)
+	f, err := Compute(context.Background(), nw, &ledger, "ruling", nil, allVertices(g), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestRulingForestSubsetU(t *testing.T) {
 		}
 	}
 	alpha := 4
-	f, err := Compute(nw, nil, "", nil, u, alpha)
+	f, err := Compute(context.Background(), nw, nil, "", nil, u, alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestRulingForestWithMask(t *testing.T) {
 			u = append(u, v)
 		}
 	}
-	f, err := Compute(nw, nil, "", mask, u, 3)
+	f, err := Compute(context.Background(), nw, nil, "", mask, u, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRulingForestRandomProperty(t *testing.T) {
 			continue
 		}
 		alpha := 2 + rng.IntN(4)
-		f, err := Compute(nw, nil, "", nil, u, alpha)
+		f, err := Compute(context.Background(), nw, nil, "", nil, u, alpha)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -142,7 +143,7 @@ func TestRulingForestRandomProperty(t *testing.T) {
 func TestRulingForestSingleton(t *testing.T) {
 	g := gen.Cycle(10)
 	nw := local.NewNetwork(g)
-	f, err := Compute(nw, nil, "", nil, []int{3}, 4)
+	f, err := Compute(context.Background(), nw, nil, "", nil, []int{3}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestRulingForestSingleton(t *testing.T) {
 func TestRulingForestEmptyU(t *testing.T) {
 	g := gen.Cycle(6)
 	nw := local.NewNetwork(g)
-	f, err := Compute(nw, nil, "", nil, nil, 3)
+	f, err := Compute(context.Background(), nw, nil, "", nil, nil, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +170,14 @@ func TestRulingForestEmptyU(t *testing.T) {
 func TestRulingForestBadInput(t *testing.T) {
 	g := gen.Cycle(6)
 	nw := local.NewNetwork(g)
-	if _, err := Compute(nw, nil, "", nil, []int{0}, 0); err == nil {
+	if _, err := Compute(context.Background(), nw, nil, "", nil, []int{0}, 0); err == nil {
 		t.Error("alpha=0 accepted")
 	}
-	if _, err := Compute(nw, nil, "", nil, []int{99}, 2); err == nil {
+	if _, err := Compute(context.Background(), nw, nil, "", nil, []int{99}, 2); err == nil {
 		t.Error("out-of-range U accepted")
 	}
 	mask := make([]bool, 6)
-	if _, err := Compute(nw, nil, "", mask, []int{0}, 2); err == nil {
+	if _, err := Compute(context.Background(), nw, nil, "", mask, []int{0}, 2); err == nil {
 		t.Error("U outside mask accepted")
 	}
 }
@@ -188,7 +189,7 @@ func TestIndependentRulingSet(t *testing.T) {
 		g := gen.GNP(n, 3.0/float64(n), rng)
 		nw := local.NewShuffledNetwork(g, rng)
 		u := allVertices(g)
-		set, err := IndependentRulingSet(nw, nil, "", nil, u)
+		set, err := IndependentRulingSet(context.Background(), nw, nil, "", nil, u)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func TestRulingSetMaximality(t *testing.T) {
 	g := gen.Grid(5, 5)
 	nw := local.NewNetwork(g)
 	u := allVertices(g)
-	f, err := Compute(nw, nil, "", nil, u, 1)
+	f, err := Compute(context.Background(), nw, nil, "", nil, u, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

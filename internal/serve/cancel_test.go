@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowJobBody names a job big enough that cancellation reliably lands while
+// the run is still in flight (planar6 on n=10⁵ runs for hundreds of
+// milliseconds at least, seconds under -race).
+func slowJobBody(seed int) map[string]any {
+	return map[string]any{"gen": "apollonian:100000", "algo": "planar6", "seed": seed, "fresh": true}
+}
+
+// pollUntilTerminal polls the job until it leaves queued/running.
+func pollUntilTerminal(t *testing.T, ts *httptest.Server, id string) jobJSON {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	for {
+		code, raw := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", code, raw)
+		}
+		jj := decode[jobJSON](t, raw)
+		if jj.Status.terminal() {
+			return jj
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job %s stuck in %s", id, jj.Status)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	s, ts := newTestServer(t, Options{Workers: 1})
+	var once sync.Once
+	s.beforeRun = func(*Job) { once.Do(func() { close(started) }) }
+
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/jobs", slowJobBody(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	jj := decode[jobJSON](t, raw)
+	<-started
+
+	cancelAt := time.Now()
+	code, raw = doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+jj.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", code, raw)
+	}
+	final := pollUntilTerminal(t, ts, jj.ID)
+	if final.Status != StatusCancelled {
+		t.Fatalf("cancelled running job finished as %q (%s)", final.Status, final.Error)
+	}
+	if waited := time.Since(cancelAt); waited > 30*time.Second {
+		t.Fatalf("cancellation took %s", waited)
+	}
+	// Colors of a cancelled job are a 409.
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+jj.ID+"/colors", nil); code != http.StatusConflict {
+		t.Fatalf("colors of cancelled job: status %d", code)
+	}
+	// Cancelled jobs are not coalescing targets: an identical submission
+	// mints a fresh job.
+	body := slowJobBody(1)
+	delete(body, "fresh")
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d: %s", code, raw)
+	}
+	re := decode[jobJSON](t, raw)
+	if re.ID == jj.ID || re.Coalesced {
+		t.Fatalf("resubmission coalesced onto cancelled job: %+v", re)
+	}
+	// Cancel the replacement too so Close does not drain a full n=10⁵ run.
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+re.ID, nil); code != http.StatusOK {
+		t.Fatalf("delete replacement: status %d", code)
+	}
+	pollUntilTerminal(t, ts, re.ID)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	s.beforeRun = func(*Job) { <-release }
+	defer once.Do(func() { close(release) })
+
+	// First job occupies the worker; the second sits in the queue.
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/jobs",
+		map[string]any{"gen": "path:40", "algo": "planar6", "seed": 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1: status %d: %s", code, raw)
+	}
+	waitForPickup(t, s)
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/jobs",
+		map[string]any{"gen": "path:40", "algo": "planar6", "seed": 2})
+	if code != http.StatusAccepted {
+		t.Fatalf("job 2: status %d: %s", code, raw)
+	}
+	queued := decode[jobJSON](t, raw)
+
+	code, raw = doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+queued.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", code, raw)
+	}
+	// A queued job cancels synchronously: the DELETE response is terminal.
+	if got := decode[jobJSON](t, raw); got.Status != StatusCancelled {
+		t.Fatalf("queued job after DELETE: %q (want cancelled)", got.Status)
+	}
+	if d := s.sched.QueueDepth(); d != 0 {
+		t.Fatalf("cancelled queued job still occupies a depth slot (%d)", d)
+	}
+	// DELETE of a terminal job is an idempotent no-op.
+	code, raw = doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+queued.ID, nil)
+	if code != http.StatusOK || decode[jobJSON](t, raw).Status != StatusCancelled {
+		t.Fatalf("re-delete: status %d: %s", code, raw)
+	}
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/v1/jobs/j999", nil); code != http.StatusNotFound {
+		t.Fatalf("delete unknown job: status %d", code)
+	}
+
+	once.Do(func() { close(release) })
+	if final := pollUntilTerminal(t, ts, "j1"); final.Status != StatusDone {
+		t.Fatalf("blocked job finished as %q", final.Status)
+	}
+	// The cancellation is visible in the stats.
+	_, raw = doJSON(t, "GET", ts.URL+"/v1/stats", nil)
+	var stats struct {
+		Jobs Snapshot `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.JobsCancelled != 1 {
+		t.Fatalf("stats report %d cancelled jobs, want 1: %s", stats.Jobs.JobsCancelled, raw)
+	}
+}
+
+func TestClientDisconnectAbortsUnsharedJob(t *testing.T) {
+	started := make(chan struct{})
+	s, ts := newTestServer(t, Options{Workers: 1})
+	var once sync.Once
+	s.beforeRun = func(*Job) { once.Do(func() { close(started) }) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(slowJobBody(7))
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/jobs?wait=true&timeout=120s", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	<-started
+	cancel() // the only interested client walks away mid-wait
+	<-reqDone
+
+	// The abandoned job must terminate as cancelled, not run to completion.
+	deadline := time.After(60 * time.Second)
+	for {
+		j, ok := s.jobs.Get("j1")
+		if !ok {
+			t.Fatal("job j1 missing")
+		}
+		if st := j.Status(); st.terminal() {
+			if st != StatusCancelled {
+				t.Fatalf("abandoned job finished as %q", st)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("abandoned job never terminated (status %s)", j.Status())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, JobTimeout: 30 * time.Millisecond})
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/jobs", slowJobBody(3))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	jj := decode[jobJSON](t, raw)
+	final := pollUntilTerminal(t, ts, jj.ID)
+	if final.Status != StatusFailed || !strings.Contains(final.Error, "deadline") {
+		t.Fatalf("deadline job: status %q error %q", final.Status, final.Error)
+	}
+}
+
+// flushCountingWriter wraps a recorder and counts Flush calls.
+type flushCountingWriter struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushCountingWriter) Flush() { f.flushes++ }
+
+func TestStreamColorsChunksAndFlushes(t *testing.T) {
+	colors := make([]int, 3*colorChunk+17)
+	for i := range colors {
+		colors[i] = i % 7
+	}
+	w := &flushCountingWriter{ResponseRecorder: httptest.NewRecorder()}
+	streamColors(w, colors)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	if w.flushes < 4 { // 3 full chunks + the tail
+		t.Fatalf("streamed response flushed %d times, want ≥ 4", w.flushes)
+	}
+	var body struct {
+		Colors []int `json:"colors"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("streamed JSON invalid: %v", err)
+	}
+	if len(body.Colors) != len(colors) {
+		t.Fatalf("streamed %d colors, want %d", len(body.Colors), len(colors))
+	}
+	for i := range colors {
+		if body.Colors[i] != colors[i] {
+			t.Fatalf("color %d mismatch: %d vs %d", i, body.Colors[i], colors[i])
+		}
+	}
+}
+
+// TestStreamedColorsEndToEnd exercises the streaming path through the real
+// HTTP stack on an n ≫ colorChunk graph.
+func TestStreamedColorsEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/jobs?wait=true&timeout=120s",
+		map[string]any{"gen": "path:20000", "algo": "girth6", "seed": 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	jj := decode[jobJSON](t, raw)
+	if jj.Status != StatusDone {
+		t.Fatalf("job status %q: %s", jj.Status, raw)
+	}
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/jobs/"+jj.ID+"/colors", nil)
+	if code != http.StatusOK {
+		t.Fatalf("colors: status %d", code)
+	}
+	var body struct {
+		Colors []int `json:"colors"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("streamed JSON invalid: %v", err)
+	}
+	if len(body.Colors) != 20000 {
+		t.Fatalf("got %d colors, want 20000", len(body.Colors))
+	}
+}

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distcolor/internal/graph"
@@ -14,11 +17,17 @@ import (
 type JobStatus string
 
 const (
-	StatusQueued  JobStatus = "queued"
-	StatusRunning JobStatus = "running"
-	StatusDone    JobStatus = "done"
-	StatusFailed  JobStatus = "failed"
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
 )
+
+// terminal reports whether a status is final.
+func (s JobStatus) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
 
 // Job is one coloring request moving through the scheduler. Fields below
 // the mutex line are guarded by mu; done is closed exactly once when the
@@ -29,6 +38,16 @@ type Job struct {
 	Cfg     runcfg.Config
 	key     string       // coalescing identity: graph + canonical config
 	g       *graph.Graph // pinned at submit so LRU eviction can't race the run
+
+	// ctx is cancelled by DELETE /v1/jobs/{id} and by client-disconnect
+	// abort; the run observes it cooperatively (within one LOCAL round).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// refs counts submissions interested in this job (1 for the creating
+	// request, +1 per coalesced duplicate). Client-disconnect abort only
+	// cancels jobs nobody else is interested in.
+	refs atomic.Int32
 
 	done chan struct{}
 
@@ -75,25 +94,62 @@ func (j *Job) Snapshot() JobView {
 	}
 }
 
-// Done is closed when the job reaches done or failed.
+// Done is closed when the job reaches done, failed or cancelled.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) markRunning() {
+// Context is the job's cancellation context; the executing run watches it.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// Cancel requests cancellation of the job's execution. A queued job is
+// terminalized by the server (see Server.cancelJob); a running job's
+// context is cancelled and the worker finishes it as cancelled.
+func (j *Job) Cancel() { j.cancel() }
+
+// tryStart atomically transitions queued → running; it fails when the job
+// was cancelled (or otherwise terminalized) before a worker picked it up.
+func (j *Job) tryStart() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
 	j.status = StatusRunning
 	j.started = time.Now()
+	return true
+}
+
+// markCancelledIfQueued atomically transitions queued → cancelled, closing
+// done. It reports whether it performed the transition (false when the job
+// already started or finished).
+func (j *Job) markCancelledIfQueued() bool {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = StatusCancelled
+	j.errMsg = context.Canceled.Error()
+	j.finished = time.Now()
 	j.mu.Unlock()
+	close(j.done)
+	return true
 }
 
 func (j *Job) finish(res *runcfg.Result, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
-	if err != nil {
-		j.status = StatusFailed
-		j.errMsg = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		j.status = StatusDone
 		j.result = res
+	case errors.Is(err, context.Canceled) && j.ctx.Err() != nil:
+		// The job's own context was cancelled (DELETE or disconnect abort);
+		// a per-job deadline expiring lands in the failed branch instead.
+		j.status = StatusCancelled
+		j.errMsg = err.Error()
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
 	}
 	// Drop the pinned graph: it was held so LRU eviction could not race the
 	// run, and nothing reads it after this. Keeping it would let up to
@@ -102,6 +158,8 @@ func (j *Job) finish(res *runcfg.Result, err error) {
 	j.g = nil
 	j.mu.Unlock()
 	close(j.done)
+	// Release the context's resources (timeout timers in particular).
+	j.cancel()
 }
 
 // JobRegistry tracks jobs by ID and coalesces identical work: the coloring
@@ -140,35 +198,42 @@ func jobKey(graphID string, cfg runcfg.Config) string {
 
 // Intern returns the job for (graphID, cfg): an existing queued, running or
 // successfully-done job with the same identity (coalesced=true), or a fresh
-// queued job registered under a new ID. Failed jobs are not coalesced
-// against, so a retry after a transient failure re-executes. When fresh is
-// set, coalescing is bypassed and a new job is always minted.
+// queued job registered under a new ID. Failed and cancelled jobs are not
+// coalesced against, so a retry re-executes. When fresh is set, coalescing
+// is bypassed and a new job is always minted.
 func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, fresh bool) (job *Job, coalesced bool) {
 	key := jobKey(graphID, cfg)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !fresh {
-		if j, ok := r.byKey[key]; ok && j.Status() != StatusFailed {
-			return j, true
+		if j, ok := r.byKey[key]; ok {
+			if s := j.Status(); s != StatusFailed && s != StatusCancelled {
+				j.refs.Add(1)
+				return j, true
+			}
 		}
 	}
 	r.seq++
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		ID:       fmt.Sprintf("j%d", r.seq),
 		GraphID:  graphID,
 		Cfg:      cfg,
 		key:      key,
 		g:        g,
+		ctx:      ctx,
+		cancel:   cancel,
 		done:     make(chan struct{}),
 		status:   StatusQueued,
 		enqueued: time.Now(),
 	}
+	j.refs.Store(1)
 	r.byID[j.ID] = j
 	// A fresh job must not displace a healthy retained job as the key's
 	// coalescing target: if it is later rolled back by backpressure, the
 	// displaced result would be orphaned and every future identical request
 	// would re-execute. Determinism makes the retained result just as good.
-	if cur, ok := r.byKey[key]; !ok || cur.Status() == StatusFailed {
+	if cur, ok := r.byKey[key]; !ok || cur.Status() == StatusFailed || cur.Status() == StatusCancelled {
 		r.byKey[key] = j
 	}
 	return j, false
@@ -180,6 +245,17 @@ func (r *JobRegistry) Get(id string) (*Job, bool) {
 	defer r.mu.Unlock()
 	j, ok := r.byID[id]
 	return j, ok
+}
+
+// Decouple removes a job from the coalescing map (it stays addressable by
+// ID) so no future submission attaches to it — called on cancellation
+// before the job's context is torn down.
+func (r *JobRegistry) Decouple(j *Job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byKey[j.key] == j {
+		delete(r.byKey, j.key)
+	}
 }
 
 // Release removes a job that was interned but could not be enqueued

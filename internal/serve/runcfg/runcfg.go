@@ -1,23 +1,24 @@
-// Package runcfg is the run configuration shared by cmd/distcolor and the
-// serving layer (internal/serve): the algorithm names accepted on the wire,
-// parameter defaults, the dispatch from (graph, config) to a verified
-// coloring run, and compact result summaries. Keeping the dispatch here —
-// rather than duplicated in each entry point — guarantees that a CLI
-// invocation and a server job with the same config produce byte-identical
-// results.
+// Package runcfg is the wire-level run configuration shared by
+// cmd/distcolor and the serving layer (internal/serve): the JSON shape of a
+// job config, canonical coalescing keys, and compact result summaries.
+//
+// runcfg holds no algorithm knowledge of its own: names, parameter schemas,
+// defaults, validation rules and palette sizes are all read from the
+// distcolor Algorithm registry, and Run delegates to distcolor.Run. There
+// is exactly one dispatch table in the system — registering an algorithm
+// makes it a valid wire config everywhere at once — and a CLI invocation
+// and a server job with the same config produce byte-identical results.
 package runcfg
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
-	"sort"
 	"strings"
 
 	"distcolor"
 	"distcolor/internal/gen"
 	"distcolor/internal/graph"
-	"distcolor/internal/local"
-	"distcolor/internal/reduce"
 )
 
 // genStream is the PCG stream constant for graph generation; listStream
@@ -39,8 +40,9 @@ func Generate(spec string, seed uint64) (*graph.Graph, error) {
 // field is "use the default" (see WithDefaults). Config is a value type and
 // safe to copy; Key gives its canonical form.
 type Config struct {
-	// Algo is one of Algorithms(): sparse, planar6, trianglefree4, girth6,
-	// arboricity, delta, nice, gps7, be, randomized.
+	// Algo is one of Algorithms() (the distcolor registry names): sparse,
+	// planar6, trianglefree4, girth6, arboricity, genus, delta, nice, gps7,
+	// be, randomized, luby, plus anything registered on top.
 	Algo string `json:"algo"`
 	// D is the sparsity parameter for algo sparse (mad(G) ≤ d, d ≥ 3).
 	D int `json:"d,omitempty"`
@@ -48,112 +50,77 @@ type Config struct {
 	A int `json:"a,omitempty"`
 	// Eps is the ε of Barenboim–Elkin's ⌊(2+ε)a⌋+1 coloring (algo be).
 	Eps float64 `json:"eps,omitempty"`
+	// Genus is the Euler genus for algo genus.
+	Genus int `json:"genus,omitempty"`
 	// Seed shuffles node IDs (LOCAL IDs are adversarial) and seeds random
 	// list generation. 0 keeps the identity ID assignment.
 	Seed uint64 `json:"seed,omitempty"`
-	// ListSize, when non-zero, gives every vertex a random list of this size
-	// drawn from a palette of Palette colors instead of the uniform palette.
+	// ListSize, when non-zero, switches the run to random per-vertex lists
+	// drawn from a palette of Palette colors instead of the uniform palette
+	// (list sizes are the algorithm's required palette size).
 	ListSize int `json:"listsize,omitempty"`
 	// Palette is the palette size for random lists (0 = 2·ListSize+2).
 	Palette int `json:"palette,omitempty"`
 }
 
-// algorithms maps each wire name to its dispatch function.
-var algorithms = map[string]func(*graph.Graph, Config, *rand.Rand) (*distcolor.Coloring, [][]int, error){
-	"sparse": func(g *graph.Graph, c Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		lists, err := randomLists(g.N(), c.D, c, rng)
-		if err != nil {
-			return nil, nil, err
-		}
-		col, err := distcolor.SparseListColor(g, c.D, lists, options(c))
-		return col, lists, err
-	},
-	"planar6": func(g *graph.Graph, c Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		lists, err := randomLists(g.N(), 6, c, rng)
-		if err != nil {
-			return nil, nil, err
-		}
-		col, err := distcolor.Planar6(g, lists, options(c))
-		return col, lists, err
-	},
-	"trianglefree4": func(g *graph.Graph, c Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		lists, err := randomLists(g.N(), 4, c, rng)
-		if err != nil {
-			return nil, nil, err
-		}
-		col, err := distcolor.TriangleFreePlanar4(g, lists, options(c))
-		return col, lists, err
-	},
-	"girth6": func(g *graph.Graph, c Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		lists, err := randomLists(g.N(), 3, c, rng)
-		if err != nil {
-			return nil, nil, err
-		}
-		col, err := distcolor.PlanarGirth6Color3(g, lists, options(c))
-		return col, lists, err
-	},
-	"arboricity": func(g *graph.Graph, c Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		lists, err := randomLists(g.N(), 2*c.A, c, rng)
-		if err != nil {
-			return nil, nil, err
-		}
-		col, err := distcolor.ArboricityColor(g, c.A, lists, options(c))
-		return col, lists, err
-	},
-	"delta": func(g *graph.Graph, c Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		k := g.MaxDegree()
-		lists, err := randomLists(g.N(), k, c, rng)
-		if err != nil {
-			return nil, nil, err
-		}
-		if lists == nil {
-			lists = distcolor.UniformLists(g.N(), k)
-		}
-		col, err := distcolor.DeltaListColor(g, lists, options(c))
-		return col, lists, err
-	},
-	"nice": func(g *graph.Graph, c Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		lists := niceLists(g, rng)
-		col, err := distcolor.NiceListColor(g, lists, options(c))
-		return col, lists, err
-	},
-	"gps7": func(g *graph.Graph, c Config, _ *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		col, err := distcolor.GoldbergPlotkinShannon7(g, options(c))
-		return col, nil, err
-	},
-	"be": func(g *graph.Graph, c Config, _ *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		col, err := distcolor.BarenboimElkin(g, c.A, c.Eps, options(c))
-		return col, nil, err
-	},
-	"randomized": func(g *graph.Graph, _ Config, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-		col, lists, err := runRandomized(g, rng)
-		return col, lists, err
-	},
+// Algorithms lists the accepted Config.Algo names, sorted — the distcolor
+// registry's names, verbatim.
+func Algorithms() []string { return distcolor.AlgorithmNames() }
+
+// paramValue maps a registry parameter name to the Config field that
+// carries it on the wire.
+func (c Config) paramValue(name string) (float64, bool) {
+	switch name {
+	case "d":
+		return float64(c.D), true
+	case "a":
+		return float64(c.A), true
+	case "eps":
+		return c.Eps, true
+	case "genus":
+		return float64(c.Genus), true
+	}
+	return 0, false
 }
 
-// Algorithms lists the accepted Config.Algo names, sorted.
-func Algorithms() []string {
-	out := make([]string, 0, len(algorithms))
-	for name := range algorithms {
-		out = append(out, name)
+func (c *Config) setParam(name string, v float64) {
+	switch name {
+	case "d":
+		c.D = int(v)
+	case "a":
+		c.A = int(v)
+	case "eps":
+		c.Eps = v
+	case "genus":
+		c.Genus = int(v)
 	}
-	sort.Strings(out)
+}
+
+// explicitParams collects the algorithm's schema parameters from the wire
+// fields, as an explicit assignment for distcolor's resolver.
+func (c Config) explicitParams(a *distcolor.Algorithm) map[string]float64 {
+	out := map[string]float64{}
+	for _, p := range a.Params {
+		if v, ok := c.paramValue(p.Name); ok {
+			out[p.Name] = v
+		}
+	}
 	return out
 }
 
-// WithDefaults returns the config with zero-valued parameters replaced by
-// the defaults cmd/distcolor has always used: d=6, a=2, ε=0.5. A Palette of
-// 0 with random lists becomes 2·ListSize+2; without random lists Palette is
-// normalized to 0 so it never distinguishes otherwise-identical configs.
+// WithDefaults returns the config with zero-valued parameters of the
+// selected algorithm replaced by its registry schema defaults (parameters
+// the algorithm ignores stay zero — they never enter Key or the dispatch).
+// A Palette of 0 with random lists becomes 2·ListSize+2; without random
+// lists Palette is normalized to 0 so it never distinguishes
+// otherwise-identical configs.
 func (c Config) WithDefaults() Config {
-	if c.D == 0 {
-		c.D = 6
-	}
-	if c.A == 0 {
-		c.A = 2
-	}
-	if c.Eps == 0 {
-		c.Eps = 0.5
+	if a, err := distcolor.Lookup(c.Algo); err == nil {
+		for _, p := range a.Params {
+			if v, ok := c.paramValue(p.Name); ok && v == 0 {
+				c.setParam(p.Name, p.Default)
+			}
+		}
 	}
 	if c.ListSize == 0 {
 		c.Palette = 0
@@ -163,21 +130,18 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// Validate rejects unknown algorithms and out-of-range parameters. It
-// validates the config as given; apply WithDefaults first.
+// Validate rejects unknown algorithms and out-of-range parameters, using
+// the registry's parameter schemas. It validates the config as given; apply
+// WithDefaults first.
 func (c Config) Validate() error {
-	if _, ok := algorithms[c.Algo]; !ok {
+	a, err := distcolor.Lookup(c.Algo)
+	if err != nil {
 		return fmt.Errorf("runcfg: unknown algorithm %q (want one of %s)",
 			c.Algo, strings.Join(Algorithms(), "|"))
 	}
-	if c.Algo == "sparse" && c.D < 3 {
-		return fmt.Errorf("runcfg: algo sparse needs d ≥ 3, got %d", c.D)
-	}
-	if (c.Algo == "arboricity" || c.Algo == "be") && c.A < 1 {
-		return fmt.Errorf("runcfg: algo %s needs a ≥ 1, got %d", c.Algo, c.A)
-	}
-	if c.Algo == "be" && c.Eps <= 0 {
-		return fmt.Errorf("runcfg: algo be needs ε > 0, got %g", c.Eps)
+	vals, err := a.ResolveParams(c.explicitParams(a))
+	if err != nil {
+		return fmt.Errorf("runcfg: %w", err)
 	}
 	if c.ListSize < 0 || c.Palette < 0 {
 		return fmt.Errorf("runcfg: negative list parameters")
@@ -185,48 +149,36 @@ func (c Config) Validate() error {
 	if c.ListSize > 0 && c.Palette > 0 && c.Palette < c.ListSize {
 		return fmt.Errorf("runcfg: palette %d smaller than list size %d", c.Palette, c.ListSize)
 	}
-	if k, known := c.listK(); known && c.ListSize > 0 && c.Palette > 0 && c.Palette < k {
+	if k, known := a.PaletteSize(nil, vals); known && c.ListSize > 0 && c.Palette > 0 && c.Palette < k {
 		return fmt.Errorf("runcfg: palette %d too small for the %d-color lists algo %s requires", c.Palette, k, c.Algo)
 	}
 	return nil
 }
 
-// listK returns the list size algo draws per vertex, when it is known
-// statically (delta's is Δ(G), graph-dependent; randomized/nice/gps7/be
-// ignore random lists entirely).
-func (c Config) listK() (int, bool) {
-	switch c.Algo {
-	case "sparse":
-		return c.D, true
-	case "planar6":
-		return 6, true
-	case "trianglefree4":
-		return 4, true
-	case "girth6":
-		return 3, true
-	case "arboricity":
-		return 2 * c.A, true
-	}
-	return 0, false
-}
-
 // Key is the canonical identity of a run config: two configs with equal
 // keys produce identical results on the same graph (Run is deterministic).
-// Parameters that the algorithm ignores (d for planar6, ε for sparse, …)
-// are omitted so they never split the identity.
+// Parameters outside the selected algorithm's schema (d for planar6, ε for
+// sparse, …) are omitted so they never split the identity.
 func (c Config) Key() string {
 	c = c.WithDefaults()
 	var b strings.Builder
 	fmt.Fprintf(&b, "algo=%s,seed=%d", c.Algo, c.Seed)
-	switch c.Algo {
-	case "sparse":
-		fmt.Fprintf(&b, ",d=%d", c.D)
-	case "arboricity":
-		fmt.Fprintf(&b, ",a=%d", c.A)
-	case "be":
-		fmt.Fprintf(&b, ",a=%d,eps=%g", c.A, c.Eps)
+	a, err := distcolor.Lookup(c.Algo)
+	if err != nil {
+		return b.String()
 	}
-	if c.ListSize > 0 && c.Algo != "gps7" && c.Algo != "be" && c.Algo != "randomized" && c.Algo != "nice" {
+	for _, p := range a.Params {
+		v, ok := c.paramValue(p.Name)
+		if !ok {
+			continue
+		}
+		if p.Integer {
+			fmt.Fprintf(&b, ",%s=%d", p.Name, int(v))
+		} else {
+			fmt.Fprintf(&b, ",%s=%g", p.Name, v)
+		}
+	}
+	if c.ListSize > 0 && a.Lists == distcolor.ListsAny {
 		fmt.Fprintf(&b, ",listsize=%d,palette=%d", c.ListSize, c.Palette)
 	}
 	return b.String()
@@ -245,7 +197,7 @@ type Result struct {
 	Rounds int
 	Phases []distcolor.Phase
 	// Verified reports that the coloring was re-checked against the graph
-	// (and lists, when random lists were drawn) after the run.
+	// (and the lists the run actually used) before being returned.
 	Verified bool
 }
 
@@ -261,18 +213,47 @@ func (r *Result) Summary() string {
 	return s
 }
 
-// Run executes the configured algorithm on g and verifies the outcome.
-// It is deterministic: the same (graph, config) always yields the same
-// Result, no matter the caller, concurrency, or GOMAXPROCS — this is what
-// lets the serving layer coalesce identical jobs. Apply WithDefaults and
-// Validate first; Run applies defaults itself as a safety net.
-func Run(g *graph.Graph, cfg Config) (*Result, error) {
+// Run executes the configured algorithm on g through distcolor.Run, which
+// verifies the outcome. It is deterministic: the same (graph, config)
+// always yields the same Result, no matter the caller, concurrency, or
+// GOMAXPROCS — this is what lets the serving layer coalesce identical
+// jobs. Apply WithDefaults and Validate first; Run applies defaults itself
+// as a safety net.
+//
+// ctx cancels the run cooperatively (within one LOCAL round); the extra
+// options are appended to the dispatch and must be observation-only
+// (distcolor.WithProgress) so determinism is preserved.
+func Run(ctx context.Context, g *graph.Graph, cfg Config, extra ...distcolor.Option) (*Result, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, listStream))
-	col, lists, err := algorithms[cfg.Algo](g, cfg, rng)
+	a, err := distcolor.Lookup(cfg.Algo)
+	if err != nil {
+		return nil, err
+	}
+	opts := []distcolor.Option{distcolor.WithSeed(cfg.Seed)}
+	for name, v := range cfg.explicitParams(a) {
+		opts = append(opts, distcolor.WithParam(name, v))
+	}
+	if cfg.ListSize > 0 && a.Lists == distcolor.ListsAny {
+		vals, err := a.ResolveParams(cfg.explicitParams(a))
+		if err != nil {
+			return nil, fmt.Errorf("runcfg: %w", err)
+		}
+		k, known := a.PaletteSize(g, vals)
+		if !known {
+			return nil, fmt.Errorf("runcfg: algo %s has no known palette size for random lists", cfg.Algo)
+		}
+		rng := rand.New(rand.NewPCG(cfg.Seed, listStream))
+		lists, err := randomLists(g.N(), k, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, distcolor.WithLists(lists))
+	}
+	opts = append(opts, extra...)
+	col, err := distcolor.Run(ctx, g, cfg.Algo, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -285,24 +266,17 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	if col.Clique != nil {
 		return res, nil
 	}
-	if err := distcolor.Verify(g, col.Colors, lists); err != nil {
-		return nil, fmt.Errorf("runcfg: output invalid: %w", err)
-	}
+	// distcolor.Run already verified the coloring against the lists the run
+	// actually used (col.Lists); no second check here.
 	res.ColorsUsed = distcolor.NumColors(col.Colors)
 	res.Verified = true
 	return res, nil
 }
 
-func options(c Config) distcolor.Options { return distcolor.Options{Seed: c.Seed} }
-
-// randomLists draws a random list of size k per vertex from cfg's palette,
-// or returns nil (uniform palette) when ListSize is 0. A palette smaller
-// than k is an error, never silently widened: the run must use exactly the
-// palette the config (and its coalescing Key) names.
+// randomLists draws a random list of size k per vertex from cfg's palette.
+// A palette smaller than k is an error, never silently widened: the run
+// must use exactly the palette the config (and its coalescing Key) names.
 func randomLists(n, k int, c Config, rng *rand.Rand) ([][]int, error) {
-	if c.ListSize == 0 {
-		return nil, nil
-	}
 	p := c.Palette
 	if p < k {
 		return nil, fmt.Errorf("runcfg: palette %d too small for the %d-color lists algo %s requires", p, k, c.Algo)
@@ -313,52 +287,4 @@ func randomLists(n, k int, c Config, rng *rand.Rand) ([][]int, error) {
 		out[v] = perm[:k]
 	}
 	return out, nil
-}
-
-// niceLists draws a random nice list assignment (Theorem 6.1): |L(v)| ≥
-// deg(v), strictly larger when deg(v) ≤ 2 or N(v) is a clique.
-func niceLists(g *graph.Graph, rng *rand.Rand) [][]int {
-	out := make([][]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		size := g.Degree(v)
-		if size <= 2 || simplicial(g, v) {
-			size++
-		}
-		if size < 1 {
-			size = 1
-		}
-		perm := rng.Perm(g.MaxDegree() + 4)
-		out[v] = perm[:size]
-	}
-	return out
-}
-
-func simplicial(g *graph.Graph, v int) bool {
-	nbrs := g.Neighbors(v)
-	for i := 0; i < len(nbrs); i++ {
-		for j := i + 1; j < len(nbrs); j++ {
-			if !g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// runRandomized is the randomized list-coloring baseline: each vertex gets a
-// random list of size deg(v)+1 and colors itself by iterated random proposal.
-func runRandomized(g *graph.Graph, rng *rand.Rand) (*distcolor.Coloring, [][]int, error) {
-	nw := local.NewShuffledNetwork(g, rng)
-	lists := make([][]int, g.N())
-	for v := range lists {
-		perm := rng.Perm(g.MaxDegree() + 4)
-		lists[v] = perm[:g.Degree(v)+1]
-	}
-	ledger := &local.Ledger{}
-	colors, err := reduce.RandomizedListColor(nw, ledger, "randomized", lists, rng.Uint64(), 100000)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Run verifies the returned (colors, lists) pair; no second check here.
-	return &distcolor.Coloring{Colors: colors, Rounds: ledger.Rounds()}, lists, nil
 }

@@ -1,6 +1,7 @@
 package runcfg
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -83,7 +84,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 	for _, algo := range Algorithms() {
 		cfg := Config{Algo: algo, Seed: 2, A: 3}.WithDefaults()
-		res, err := Run(g, cfg)
+		res, err := Run(context.Background(), g, cfg)
 		if err != nil {
 			t.Errorf("%s: %v", algo, err)
 			continue
@@ -104,11 +105,11 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	for _, algo := range []string{"planar6", "randomized", "sparse"} {
 		cfg := Config{Algo: algo, Seed: 11, D: 6, ListSize: 6}.WithDefaults()
-		r1, err := Run(g, cfg)
+		r1, err := Run(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
-		r2, err := Run(g, cfg)
+		r2, err := Run(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -123,7 +124,7 @@ func TestRunSparseCliqueCertificate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(g, Config{Algo: "sparse", D: 4}.WithDefaults())
+	res, err := Run(context.Background(), g, Config{Algo: "sparse", D: 4}.WithDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}

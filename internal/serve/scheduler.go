@@ -93,6 +93,21 @@ func (s *Scheduler) Enqueue(jobs ...*Job) error {
 	return nil
 }
 
+// Remove deletes a still-queued job from the queue, freeing its depth slot
+// (cancellation of a job no worker has picked up yet). It reports whether
+// the job was found; false means a worker already dequeued it.
+func (s *Scheduler) Remove(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // QueueDepth returns the number of jobs waiting (not running).
 func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()

@@ -14,20 +14,30 @@
 //
 // Backpressure is explicit: the scheduler's queue is bounded and a batch
 // that does not fit is rejected whole with 429, never half-enqueued.
+//
+// Every job owns a context threaded into the coloring run, giving the
+// server real cancellation: DELETE /v1/jobs/{id} stops a queued or running
+// job within one LOCAL round, a ?wait=true client disconnecting aborts the
+// unshared jobs it submitted, and Options.JobTimeout bounds every
+// execution. Large results stream out in chunks (GET /v1/jobs/{id}/colors)
+// instead of buffering whole.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"distcolor"
 	"distcolor/internal/graph"
 	"distcolor/internal/serve/runcfg"
 )
@@ -48,6 +58,10 @@ type Options struct {
 	RetainJobs int
 	// MaxUploadBytes bounds a graph-upload body (default 64 MiB).
 	MaxUploadBytes int64
+	// JobTimeout, when positive, is the per-job execution deadline: a run
+	// exceeding it is aborted (within one LOCAL round) and reported as
+	// failed with a deadline error. Queue wait does not count. 0 = none.
+	JobTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -103,7 +117,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/graphs", s.handleUploadGraph)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/colors", s.handleGetColors)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -115,17 +131,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Close stops the worker pool after draining already-accepted jobs.
 func (s *Server) Close() { s.sched.Close() }
 
-// execute runs one job on a worker.
+// execute runs one job on a worker. Jobs cancelled while still queued are
+// skipped (the canceller already terminalized them); running jobs observe
+// their context — cancelled by DELETE, disconnect abort, or the per-job
+// deadline — cooperatively, stopping within one LOCAL round.
 func (s *Server) execute(j *Job) {
 	if s.beforeRun != nil {
 		s.beforeRun(j)
 	}
-	j.markRunning()
-	res, err := runcfg.Run(j.g, j.Cfg)
+	if !j.tryStart() {
+		return
+	}
+	ctx := j.Context()
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	res, err := runcfg.Run(ctx, j.g, j.Cfg)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("job deadline %s exceeded: %w", s.opts.JobTimeout, err)
+	}
 	j.finish(res, err)
 	s.jobs.markTerminal(j)
 	v := j.Snapshot()
-	s.stats.jobFinished(v.Finished.Sub(v.Enqueued), err != nil)
+	s.stats.jobFinished(v.Finished.Sub(v.Enqueued), v.Status)
 }
 
 // ---- wire types ----
@@ -413,6 +443,20 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 			case <-deadline.C:
 				break waitLoop
 			case <-r.Context().Done():
+				// The waiting client disconnected: abort the jobs this
+				// request created that nobody else has coalesced onto —
+				// their only consumer is gone, so finishing them is wasted
+				// compute. Shared (coalesced) jobs keep running. Checking
+				// refs under submitMu makes the check atomic with Intern's
+				// ref increment, so a concurrent identical submission can
+				// never coalesce onto a job this branch is about to cancel.
+				s.submitMu.Lock()
+				for _, sb := range subs {
+					if !sb.coalesced && sb.job.refs.Load() == 1 {
+						s.cancelJob(sb.job)
+					}
+				}
+				s.submitMu.Unlock()
 				break waitLoop
 			}
 		}
@@ -478,6 +522,63 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobView(j, false))
 }
 
+// cancelJob cancels a job wherever it is in its lifecycle: a still-queued
+// job is terminalized immediately (and its queue slot freed); a running job
+// has its context cancelled and the worker finishes it as cancelled within
+// one LOCAL round; terminal jobs are left untouched. The job is decoupled
+// from the coalescing map first, so no later submission attaches to a job
+// that is about to die.
+func (s *Server) cancelJob(j *Job) {
+	if j.Status().terminal() {
+		return // nothing to cancel; keep finished results coalescable
+	}
+	s.jobs.Decouple(j)
+	j.Cancel()
+	if j.markCancelledIfQueued() {
+		s.sched.Remove(j)
+		s.jobs.markTerminal(j)
+		s.stats.jobCancelled()
+	}
+}
+
+// handleCancelJob is DELETE /v1/jobs/{id}: request cancellation and return
+// the job's state after the attempt. Cancelling a running job is
+// asynchronous (the response may still say "running"); waiters are released
+// as soon as the run observes the cancellation.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, s.jobView(j, false))
+}
+
+// handleAlgorithms is GET /v1/algorithms: the registry, self-described.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	type paramJSON struct {
+		Name    string  `json:"name"`
+		Doc     string  `json:"doc,omitempty"`
+		Default float64 `json:"default"`
+	}
+	type algoJSON struct {
+		Name    string      `json:"name"`
+		Doc     string      `json:"doc,omitempty"`
+		Theorem string      `json:"theorem,omitempty"`
+		Params  []paramJSON `json:"params,omitempty"`
+	}
+	var out []algoJSON
+	for _, a := range distcolor.Algorithms() {
+		aj := algoJSON{Name: a.Name, Doc: a.Doc, Theorem: a.Theorem}
+		for _, p := range a.Params {
+			aj.Params = append(aj.Params, paramJSON{Name: p.Name, Doc: p.Doc, Default: p.Default})
+		}
+		out = append(out, aj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+}
+
 func (s *Server) handleGetColors(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
@@ -486,14 +587,53 @@ func (s *Server) handleGetColors(w http.ResponseWriter, r *http.Request) {
 	}
 	v := j.Snapshot()
 	switch {
-	case v.Status == StatusFailed:
-		writeError(w, http.StatusConflict, "job %s failed: %s", j.ID, v.Err)
+	case v.Status == StatusFailed || v.Status == StatusCancelled:
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.ID, v.Status, v.Err)
 	case v.Result == nil:
 		writeError(w, http.StatusConflict, "job %s is %s; colors are available once done", j.ID, v.Status)
 	case v.Result.Clique != nil:
 		writeJSON(w, http.StatusOK, map[string]any{"clique": v.Result.Clique})
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"colors": v.Result.Colors})
+		streamColors(w, v.Result.Colors)
+	}
+}
+
+// colorChunk is how many colors streamColors writes per flush: large enough
+// to amortize syscalls, small enough that a slow reader of an n=10⁷ result
+// never forces the whole array into one buffer.
+const colorChunk = 8192
+
+// streamColors writes {"colors":[...]} incrementally: the assignment is
+// encoded chunk by chunk into a reused buffer and flushed after every
+// chunk, so the response memory footprint is O(colorChunk) regardless of n
+// (ROADMAP "server-side result streaming").
+func streamColors(w http.ResponseWriter, colors []int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 0, colorChunk*8)
+	buf = append(buf, `{"colors":[`...)
+	for i, c := range colors {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(c), 10)
+		if (i+1)%colorChunk == 0 {
+			if _, err := w.Write(buf); err != nil {
+				return // client went away; nothing sensible to do mid-body
+			}
+			buf = buf[:0]
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+	buf = append(buf, "]}\n"...)
+	if _, err := w.Write(buf); err != nil {
+		return
+	}
+	if fl != nil {
+		fl.Flush()
 	}
 }
 

@@ -20,6 +20,7 @@ type Stats struct {
 	rejected  int64
 	done      int64
 	failed    int64
+	cancelled int64
 	lat       []time.Duration // ring buffer of recent job latencies
 	latNext   int
 }
@@ -27,13 +28,17 @@ type Stats struct {
 func (s *Stats) jobEnqueued()  { s.mu.Lock(); s.enqueued++; s.mu.Unlock() }
 func (s *Stats) jobCoalesced() { s.mu.Lock(); s.coalesced++; s.mu.Unlock() }
 func (s *Stats) jobRejected()  { s.mu.Lock(); s.rejected++; s.mu.Unlock() }
+func (s *Stats) jobCancelled() { s.mu.Lock(); s.cancelled++; s.mu.Unlock() }
 
-func (s *Stats) jobFinished(latency time.Duration, failed bool) {
+func (s *Stats) jobFinished(latency time.Duration, status JobStatus) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if failed {
+	switch status {
+	case StatusFailed:
 		s.failed++
-	} else {
+	case StatusCancelled:
+		s.cancelled++
+	default:
 		s.done++
 	}
 	if len(s.lat) < latencyWindow {
@@ -51,6 +56,7 @@ type Snapshot struct {
 	JobsRejected  int64   `json:"jobs_rejected"`
 	JobsDone      int64   `json:"jobs_done"`
 	JobsFailed    int64   `json:"jobs_failed"`
+	JobsCancelled int64   `json:"jobs_cancelled"`
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 }
@@ -65,6 +71,7 @@ func (s *Stats) Snapshot() Snapshot {
 		JobsRejected:  s.rejected,
 		JobsDone:      s.done,
 		JobsFailed:    s.failed,
+		JobsCancelled: s.cancelled,
 	}
 	window := append([]time.Duration(nil), s.lat...)
 	s.mu.Unlock()
