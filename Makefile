@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test test-race smoke bench-smoke bench serve staticcheck
+.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench serve staticcheck
 
 all: ci
 
-ci: fmt-check vet build test test-race smoke bench-smoke
+ci: fmt-check vet build test test-serial test-race smoke bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -20,12 +20,19 @@ build:
 test:
 	$(GO) test ./...
 
+# The message plane must be bit-identical at any parallelism; run the LOCAL
+# engine suite pinned to a single worker to prove the degenerate case
+# (delivery, compaction and output collection all collapse onto one shard).
+test-serial:
+	GOMAXPROCS=1 $(GO) test -count=1 ./internal/local/...
+
 # Race-detector pass over the concurrent packages: the serving layer (job
 # scheduler, LRU store, coalescing, cancellation) and the LOCAL engine's
-# worker pool, plus the root-package cancellation/registry tests.
+# sharded message plane, plus the root-package cancellation/registry and
+# cross-GOMAXPROCS determinism tests.
 test-race:
 	$(GO) test -race ./internal/serve/... ./internal/local/...
-	$(GO) test -race -run 'Cancel|Registry|Deadline|Progress|Luby' .
+	$(GO) test -race -run 'Cancel|Registry|Deadline|Progress|Luby|Deterministic' .
 
 # Registry-driven CLI smoke: runs every distcolor.Algorithms() entry on its
 # tiny Algorithm.Smoke graph through the same wire path the server uses.
@@ -46,8 +53,8 @@ serve:
 # smoke test that the benchmark paths still run, not a measurement.
 bench-smoke:
 	$(GO) test -run xxx -benchtime 1x \
-		-bench 'BenchmarkSparseListColor/.*/n1e[34]$$|BenchmarkCollectBallsSync/grid20x20' .
+		-bench 'BenchmarkSparseListColor/.*/n1e[34]$$|BenchmarkCollectBallsSync/grid20x20|BenchmarkRunSyncDelivery' .
 
 # Full engine benchmark sweep (slow; use benchstat across commits).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSparseListColor|BenchmarkCollectBallsSync' -benchtime 3x .
+	$(GO) test -run xxx -bench 'BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery' -benchtime 3x .

@@ -182,6 +182,60 @@ func BenchmarkCollectBallsSync(b *testing.B) {
 	}
 }
 
+// deliveryProgram broadcasts a tiny payload every round: Step cost is
+// negligible, so RunSync wall time is dominated by the message plane
+// (routing, staging, shard delivery).
+type deliveryProgram struct {
+	id     int
+	rounds int
+	acc    int
+}
+
+func (p *deliveryProgram) Init(info local.NodeInfo) { p.id = info.ID }
+func (p *deliveryProgram) Step(round int, inbox []local.Inbound) ([]local.Outbound, bool) {
+	for _, in := range inbox {
+		p.acc ^= in.Msg.(int)
+	}
+	if round > p.rounds {
+		return nil, true
+	}
+	return []local.Outbound{{Port: local.Broadcast, Msg: p.id}}, false
+}
+func (p *deliveryProgram) Output() any { return p.acc }
+
+// BenchmarkRunSyncDelivery measures the sharded message plane on its worst
+// case: a hub-heavy graph (a clique of hubs, each fanning out to hundreds
+// of leaves) where a handful of receivers absorb most of the traffic, under
+// a program whose step work is trivial — so the benchmark is bound by
+// message routing and delivery, not by node computation.
+func BenchmarkRunSyncDelivery(b *testing.B) {
+	const hubs, leavesPerHub, rounds = 8, 500, 8
+	bld := NewBuilder(hubs * (1 + leavesPerHub))
+	for h := 0; h < hubs; h++ {
+		for g := h + 1; g < hubs; g++ {
+			if err := bld.AddEdge(h, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for l := 0; l < leavesPerHub; l++ {
+			if err := bld.AddEdge(h, hubs+h*leavesPerHub+l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	g := bld.Graph()
+	nw := local.NewNetwork(g)
+	b.SetBytes(int64(2 * g.M() * rounds)) // messages per iteration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := local.RunSync(context.Background(), nw, nil, "bench", rounds+3,
+			func(v int) local.Program { return &deliveryProgram{rounds: rounds} })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkHappySet_Apollonian_n2000(b *testing.B) {
 	r := rand.New(rand.NewPCG(23, 29))
 	g := gen.Apollonian(2000, r)

@@ -2,6 +2,8 @@ package distcolor
 
 import (
 	"context"
+	"math"
+	"math/bits"
 	"math/rand/v2"
 
 	"distcolor/internal/be"
@@ -10,6 +12,35 @@ import (
 	"distcolor/internal/local"
 	"distcolor/internal/reduce"
 )
+
+// The RoundBound envelopes below are deliberately loose upper bounds on the
+// reproduction's measured round cost under default parameters — tight
+// enough to predict cost and catch a spinning run, never tight enough to
+// fail a legitimate one.
+
+// logN is ⌈log₂ n⌉ + 1, the "log n" unit of the bounds (≥ 1).
+func logN(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return bits.Len(uint(n-1)) + 1
+}
+
+// polylog3Bound envelopes the Theorem 1.3 family: O(log³ n) ball phases
+// plus Linial/Δ+1 reduction terms of order Δ². The arithmetic runs in
+// int64 with Δ clamped so 16·Δ² cannot overflow, and the result saturates
+// at MaxInt32 — never a negative or wrapped "bound", on any platform.
+func polylog3Bound(n, maxDeg int) int {
+	l := int64(logN(n))
+	d := min(int64(maxDeg), RoundBoundMaxDeg)
+	b := 64*l*l*l + 16*d*d + 256
+	return int(min(b, math.MaxInt32))
+}
+
+// lubyStyleBound envelopes the randomized proposal colorings, which finish
+// in O(log n) rounds with high probability; the slack makes the failure
+// probability of a legitimate run astronomically small.
+func lubyStyleBound(n, _ int) int { return 64*logN(n) + 128 }
 
 // The built-in algorithms. Each entry is the complete description of one
 // wire algorithm — parameter schema, list support, palette size, paper
@@ -27,6 +58,7 @@ func init() {
 		Lists:       ListsAny,
 		PaletteSize: func(_ *Graph, p ParamValues) (int, bool) { return p.Int("d"), true },
 		Smoke:       "regular:60,3",
+		RoundBound:  polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			return coreRun(ctx, g, rc, core.Run, core.Config{D: rc.Params.Int("d")})
 		},
@@ -38,6 +70,7 @@ func init() {
 		Lists:       ListsAny,
 		PaletteSize: func(*Graph, ParamValues) (int, bool) { return 6, true },
 		Smoke:       "apollonian:60",
+		RoundBound:  polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			return coreRun(ctx, g, rc, core.Planar6, core.Config{})
 		},
@@ -49,6 +82,7 @@ func init() {
 		Lists:       ListsAny,
 		PaletteSize: func(*Graph, ParamValues) (int, bool) { return 4, true },
 		Smoke:       "grid:6x6",
+		RoundBound:  polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			return coreRun(ctx, g, rc, core.TriangleFree4, core.Config{})
 		},
@@ -60,6 +94,7 @@ func init() {
 		Lists:       ListsAny,
 		PaletteSize: func(*Graph, ParamValues) (int, bool) { return 3, true },
 		Smoke:       "cycle:30",
+		RoundBound:  polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			return coreRun(ctx, g, rc, core.Girth6Planar3, core.Config{})
 		},
@@ -75,6 +110,7 @@ func init() {
 		Lists:       ListsAny,
 		PaletteSize: func(_ *Graph, p ParamValues) (int, bool) { return 2 * p.Int("a"), true },
 		Smoke:       "forests:60,2",
+		RoundBound:  polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			res, err := core.Arboricity2a(ctx, rc.network(g), rc.Params.Int("a"), core.Config{
 				Lists: rc.Lists, BallC: rc.BallC, Progress: rc.ledgerProgress(),
@@ -97,7 +133,8 @@ func init() {
 		PaletteSize: func(_ *Graph, p ParamValues) (int, bool) {
 			return core.HeawoodNumber(p.Int("genus")), true
 		},
-		Smoke: "klein:5x9",
+		Smoke:      "klein:5x9",
+		RoundBound: polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			res, err := core.GenusHg(ctx, rc.network(g), rc.Params.Int("genus"), core.Config{
 				Lists: rc.Lists, BallC: rc.BallC, Progress: rc.ledgerProgress(),
@@ -119,7 +156,8 @@ func init() {
 			}
 			return g.MaxDegree(), true
 		},
-		Smoke: "grid:5x6",
+		Smoke:      "grid:5x6",
+		RoundBound: polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			lists := rc.Lists
 			if lists == nil {
@@ -135,11 +173,12 @@ func init() {
 		},
 	})
 	MustRegister(&Algorithm{
-		Name:    "nice",
-		Doc:     "(deg+ε)-list-coloring for nice list assignments",
-		Theorem: "Theorem 6.1",
-		Lists:   ListsOwn,
-		Smoke:   "apollonian:40",
+		Name:       "nice",
+		Doc:        "(deg+ε)-list-coloring for nice list assignments",
+		Theorem:    "Theorem 6.1",
+		Lists:      ListsOwn,
+		Smoke:      "apollonian:40",
+		RoundBound: polylog3Bound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			lists := rc.Lists
 			if lists == nil {
@@ -160,6 +199,9 @@ func init() {
 		Theorem: "baseline (Section 1.1)",
 		Lists:   ListsNone,
 		Smoke:   "apollonian:60",
+		// GPS peels O(log n) layers, each a Cole–Vishkin forest coloring
+		// plus a constant-round merge.
+		RoundBound: func(n, _ int) int { return 256*logN(n) + 512 },
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			ledger := &local.Ledger{Progress: rc.ledgerProgress()}
 			res, err := gps.Planar7(ctx, rc.network(g), ledger)
@@ -179,6 +221,9 @@ func init() {
 		},
 		Lists: ListsNone,
 		Smoke: "forests:60,2",
+		// H-partition + forest decomposition + CV coloring: O((a/ε)·log n)
+		// layers under default a=2, ε=½.
+		RoundBound: func(n, _ int) int { return 512*logN(n) + 1024 },
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			ledger := &local.Ledger{Progress: rc.ledgerProgress()}
 			res, err := be.ColorArb(ctx, rc.network(g), ledger, rc.Params.Int("a"), rc.Params.Float("eps"))
@@ -189,12 +234,13 @@ func init() {
 		},
 	})
 	MustRegister(&Algorithm{
-		Name:    "randomized",
-		Doc:     "randomized (deg+1)-list-coloring by iterated random proposal (baseline)",
-		Theorem: "baseline (Question 6.2 remark)",
-		Lists:   ListsNone,
-		Smoke:   "grid:6x6",
-		Run:     runRandomized,
+		Name:       "randomized",
+		Doc:        "randomized (deg+1)-list-coloring by iterated random proposal (baseline)",
+		Theorem:    "baseline (Question 6.2 remark)",
+		Lists:      ListsNone,
+		Smoke:      "grid:6x6",
+		RoundBound: lubyStyleBound,
+		Run:        runRandomized,
 	})
 }
 
@@ -256,7 +302,7 @@ func runRandomized(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, err
 		lists[v] = perm[:g.Degree(v)+1]
 	}
 	ledger := &local.Ledger{Progress: rc.ledgerProgress()}
-	colors, err := reduce.RandomizedListColor(ctx, nw, ledger, "randomized", lists, rng.Uint64(), 100000)
+	colors, err := reduce.RandomizedListColor(ctx, nw, ledger, "randomized", lists, rng.Uint64(), rc.MaxRounds(g))
 	if err != nil {
 		return nil, err
 	}

@@ -63,13 +63,18 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream live phase progress to stderr")
 	verbose := flag.Bool("v", false, "print the per-phase round breakdown")
-	listAlgos := flag.Bool("list-algos", false, "print the registered algorithm names and exit")
+	listAlgos := flag.Bool("list-algos", false, "print the registered algorithms with their predicted round bounds (at n=10⁶, Δ=100) and exit")
 	smoke := flag.Bool("smoke", false, "run every registered algorithm on its tiny smoke graph and exit")
 	flag.Parse()
 
 	if *listAlgos {
-		for _, name := range runcfg.Algorithms() {
-			fmt.Println(name)
+		for _, a := range distcolor.Algorithms() {
+			bound := "-"
+			if a.RoundBound != nil {
+				// predicted round ceiling at the canonical reference point
+				bound = fmt.Sprintf("≤%d", a.RoundBound(distcolor.RoundBoundRefN, distcolor.RoundBoundRefMaxDeg))
+			}
+			fmt.Printf("%-14s %-10s %s\n", a.Name, bound, a.Doc)
 		}
 		return nil
 	}

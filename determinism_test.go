@@ -1,0 +1,76 @@
+package distcolor_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"distcolor"
+	"distcolor/internal/serve/runcfg"
+)
+
+// gomaxprocsLevels is the parallelism sweep: the degenerate single-worker
+// engine, the smallest genuinely parallel one, and whatever the host has.
+func gomaxprocsLevels() []int {
+	levels := []int{1, 2, runtime.NumCPU()}
+	sort.Ints(levels)
+	out := levels[:1]
+	for _, l := range levels[1:] {
+		if l != out[len(out)-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// fingerprint is everything a run reports that must be independent of the
+// engine's parallelism: the assignment (or certificate), the round totals,
+// the per-phase breakdown and the engine's message accounting.
+type fingerprint struct {
+	Colors   []int
+	Clique   []int
+	Rounds   int
+	Phases   []distcolor.Phase
+	Messages int
+}
+
+// TestAlgorithmsDeterministicAcrossGOMAXPROCS runs every registered
+// algorithm on its own smoke graph at GOMAXPROCS ∈ {1, 2, NumCPU} and
+// requires bit-identical results: the serving layer's job coalescing and
+// the paper's reported round counts both assume a run is a pure function
+// of (graph, config, seed), no matter how many workers the message plane
+// spreads over.
+func TestAlgorithmsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	levels := gomaxprocsLevels()
+	for _, a := range distcolor.Algorithms() {
+		if a.Smoke == "" {
+			continue
+		}
+		t.Run(a.Name, func(t *testing.T) {
+			g, err := runcfg.Generate(a.Smoke, 1)
+			if err != nil {
+				t.Fatalf("generating %q: %v", a.Smoke, err)
+			}
+			var ref fingerprint
+			for i, p := range levels {
+				old := runtime.GOMAXPROCS(p)
+				col, err := distcolor.Run(context.Background(), g, a.Name, distcolor.WithSeed(3))
+				runtime.GOMAXPROCS(old)
+				if err != nil {
+					t.Fatalf("GOMAXPROCS=%d: %v", p, err)
+				}
+				fp := fingerprint{col.Colors, col.Clique, col.Rounds, col.Phases, col.Messages}
+				if i == 0 {
+					ref = fp
+					continue
+				}
+				if !reflect.DeepEqual(fp, ref) {
+					t.Errorf("results differ between GOMAXPROCS=%d and %d:\n  %+v\nvs\n  %+v",
+						levels[0], p, ref, fp)
+				}
+			}
+		})
+	}
+}

@@ -87,6 +87,11 @@ type Coloring struct {
 	Rounds int
 	// Phases is the per-phase round breakdown, largest first.
 	Phases []Phase
+	// Messages counts the point-to-point messages delivered by the
+	// message-passing engine during the run (0 for purely centrally
+	// simulated phases); like Rounds it is deterministic in (graph,
+	// config, seed) at any GOMAXPROCS.
+	Messages int
 }
 
 // Phase names one charged phase of the ledger.
@@ -97,10 +102,11 @@ type Phase struct {
 
 func fromResult(res *core.Result) *Coloring {
 	c := &Coloring{
-		Colors: res.Colors,
-		Clique: res.Clique,
-		Lists:  res.Lists,
-		Rounds: res.Ledger.Rounds(),
+		Colors:   res.Colors,
+		Clique:   res.Clique,
+		Lists:    res.Lists,
+		Rounds:   res.Ledger.Rounds(),
+		Messages: res.Ledger.Messages(),
 	}
 	for _, p := range res.Ledger.ByPhase() {
 		c.Phases = append(c.Phases, Phase{Name: p.Phase, Rounds: p.Rounds})
@@ -109,7 +115,7 @@ func fromResult(res *core.Result) *Coloring {
 }
 
 func coloringFromLedger(colors []int, ledger *local.Ledger) *Coloring {
-	c := &Coloring{Colors: colors, Rounds: ledger.Rounds()}
+	c := &Coloring{Colors: colors, Rounds: ledger.Rounds(), Messages: ledger.Messages()}
 	for _, p := range ledger.ByPhase() {
 		c.Phases = append(c.Phases, Phase{Name: p.Phase, Rounds: p.Rounds})
 	}

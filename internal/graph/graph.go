@@ -33,6 +33,9 @@ type Graph struct {
 	degenOnce sync.Once
 	degen     DegeneracyResult
 
+	mirrorOnce sync.Once
+	mirror     []int32
+
 	scratch sync.Pool // *Traversal, reused by Ball/Components/etc.
 }
 
@@ -247,6 +250,33 @@ func (g *Graph) Neighbors(v int) []int32 {
 // both slices as read-only; this is the zero-cost accessor for tight loops
 // that sweep the whole adjacency structure.
 func (g *Graph) CSR() (offsets, neighbors []int32) { return g.offsets, g.neighbors }
+
+// Mirror returns the CSR mirror array: for every directed adjacency slot i
+// (vertex v's p-th neighbor w sits at i = offsets[v]+p), mirror[i] is the
+// index of v in w's own sorted neighbor list — the receiver-side port of
+// the directed edge v→w. It is the O(1) routing table the message-passing
+// engine uses to tag deliveries, replacing a per-message binary search.
+// Computed once in O(n+m) and cached like MaxDegree; the caller must treat
+// the slice as read-only.
+func (g *Graph) Mirror() []int32 {
+	g.mirrorOnce.Do(func() {
+		mirror := make([]int32, len(g.neighbors))
+		cursor := make([]int32, g.N())
+		// Sweep v ascending. For a fixed w, the senders v with w ∈ N(v)
+		// are visited in ascending order, which is exactly the order they
+		// occupy in w's sorted neighbor list — so v's position in that
+		// list is the number of neighbors of w seen so far.
+		for v := 0; v < g.N(); v++ {
+			for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
+				w := g.neighbors[i]
+				mirror[i] = cursor[w]
+				cursor[w]++
+			}
+		}
+		g.mirror = mirror
+	})
+	return g.mirror
+}
 
 // HasEdge reports whether {u,v} ∈ E. Runs in O(log deg(u)).
 func (g *Graph) HasEdge(u, v int) bool {

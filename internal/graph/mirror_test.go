@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestMirrorRoundTrip checks the two defining properties of the CSR mirror
+// array on random graphs: slot i = (v, p) holding neighbor w satisfies
+// (1) w's mirror[i]-th neighbor is v, and (2) mirroring twice returns to p
+// (the map is an involution on directed edge slots).
+func TestMirrorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	for _, tc := range []struct {
+		n       int
+		density float64
+	}{{1, 0}, {2, 1}, {17, 0.3}, {60, 0.1}, {200, 0.02}} {
+		g := randomGraph(rng, tc.n, tc.density)
+		mirror := g.Mirror()
+		if len(mirror) != 2*g.M() {
+			t.Fatalf("n=%d: mirror has %d slots, want %d", tc.n, len(mirror), 2*g.M())
+		}
+		offsets, nbrs := g.CSR()
+		for v := 0; v < g.N(); v++ {
+			for i := offsets[v]; i < offsets[v+1]; i++ {
+				w := nbrs[i]
+				back := offsets[w] + mirror[i]
+				if back >= offsets[w+1] || nbrs[back] != int32(v) {
+					t.Fatalf("n=%d: mirror[%d]=%d does not point back from %d to %d",
+						tc.n, i, mirror[i], w, v)
+				}
+				if got := offsets[v] + mirror[back]; got != i {
+					t.Fatalf("n=%d: mirror not involutive at slot %d (round-trips to %d)",
+						tc.n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestMirrorCached: repeated calls return the same cached array.
+func TestMirrorCached(t *testing.T) {
+	g := MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	a, b := g.Mirror(), g.Mirror()
+	if &a[0] != &b[0] {
+		t.Fatal("Mirror recomputed instead of cached")
+	}
+}

@@ -127,7 +127,9 @@ func (p *floodProgram) Step(round int, inbox []Inbound) ([]Outbound, bool) {
 // Output restricts the collected knowledge to the induced ball of radius
 // rounds-1: after r+1 rounds of flooding a node knows a superset (IDs up to
 // distance r+1 and their incident edges); it computes exact distances up to
-// r+1 inside its knowledge graph and keeps the radius-r induced ball.
+// r+1 inside its knowledge graph and keeps the radius-r induced ball. This
+// per-node BFS is real work — the engine runs Output on its worker pool,
+// so the restriction step parallelizes along with the flooding itself.
 func (p *floodProgram) Output() any {
 	radius := p.rounds - 1
 	// Index the sorted ID universe and build a CSR adjacency over it.
@@ -238,8 +240,9 @@ func edgeIDKey(a, b int) [2]int {
 
 // CollectBallsSync runs the genuine message-passing flooding protocol for
 // radius+1 rounds and returns each node's collected BallGraph. It charges
-// radius+1 rounds. Intended for tests and small graphs (message sizes grow
-// with ball sizes, as the LOCAL model allows).
+// radius+1 rounds. Message sizes grow with ball sizes (the LOCAL model
+// allows it), so wall time is bound by knowledge merging and the message
+// plane — both of which the engine spreads across all cores.
 func CollectBallsSync(ctx context.Context, nw *Network, ledger *Ledger, phase string, radius int) ([]BallGraph, error) {
 	outs, err := RunSync(ctx, nw, ledger, phase, radius+3, func(v int) Program {
 		return &floodProgram{rounds: radius + 1}

@@ -214,19 +214,429 @@ type Program interface {
 // periphery).
 const workerChunk = 64
 
+// staged is one routed message sitting in a staging bucket between the step
+// and delivery phases: the receiver vertex and its receiver-side port,
+// resolved at send time via the graph's CSR mirror array (graph.Mirror).
+type staged struct {
+	to   int32
+	port int32
+	msg  Message
+}
+
+// engine is the two-phase sharded message plane behind RunSync. One round
+// runs two pool phases over the same min(GOMAXPROCS, n) long-lived workers:
+//
+//   - Step phase: workers claim chunks of the active list off an atomic
+//     cursor and run each node's Step. Every outgoing message is routed
+//     immediately — receiver and receiver-side port resolved via the CSR
+//     mirror array — into the staging bucket keyed by (chunk index,
+//     receiver shard). Buckets are keyed by the chunk index claimed off the
+//     cursor, not by worker id, so bucket contents are independent of the
+//     nondeterministic chunk→worker assignment.
+//   - Delivery phase: worker s owns a contiguous shard of receiver vertices
+//     (ranges balanced by degree mass) and drains buckets (c, s) for
+//     ascending chunk index c into its shard's double-buffered inboxes.
+//     Chunks partition the active list in order, and each chunk's bucket is
+//     filled by a single worker stepping its nodes in order, so the inbox
+//     of every receiver is byte-identical to the sequential engine's
+//     ascending-active-order delivery — at any GOMAXPROCS. The same phase
+//     also compacts this worker's segment of the active list (halts are
+//     complete once the step phase ends) and counts delivered messages into
+//     a per-shard counter; the coordinator aggregates the counters into the
+//     ledger and concatenates the compacted segments.
+//
+// Output collection at the end of the run is a third pool phase, chunked
+// over all vertices.
+type engine struct {
+	nw      *Network
+	offsets []int32
+	nbrs    []int32
+	mirror  []int32
+	progs   []Program
+
+	inboxes     [][]Inbound
+	nextInboxes [][]Inbound
+	active      []int32 // non-halted nodes, ascending; compacted each round
+	halts       []bool  // per-node result slot, written during the step phase
+
+	workers int
+	round   int
+
+	// buckets[c*workers+s] stages the messages of chunk c addressed to
+	// shard s. Sized for the round-1 chunk count (the active list only
+	// shrinks); each delivery drains and resets the buckets it owns, so
+	// capacity is reused across rounds.
+	buckets   [][]staged
+	numChunks int
+
+	shardOf   []int32 // shardOf[v] = delivery worker owning receiver v
+	shardLo   []int32 // worker s owns vertices [shardLo[s], shardLo[s+1])
+	shardMsgs []int   // per-shard delivered-message counters
+	segBounds []int   // active-list compaction segment bounds, workers+1
+	segLen    []int   // kept entries per compaction segment
+
+	cursor atomic.Int64
+	phase  func(worker int) // body of the phase currently dispatched
+	// start is per-worker: the delivery phase is keyed by worker identity
+	// (shard w, segment w), so each dispatch must reach each worker exactly
+	// once — a shared channel would let a fast worker steal a slow one's
+	// token and leave that worker's shard undelivered.
+	start []chan struct{}
+	done  chan any // nil or recovered panic value per worker
+	stop  chan struct{}
+}
+
+func newEngine(nw *Network) *engine {
+	g := nw.G
+	n := g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	offsets, nbrs := g.CSR()
+	e := &engine{
+		nw:          nw,
+		offsets:     offsets,
+		nbrs:        nbrs,
+		mirror:      g.Mirror(),
+		progs:       make([]Program, n),
+		inboxes:     make([][]Inbound, n),
+		nextInboxes: make([][]Inbound, n),
+		active:      make([]int32, n),
+		halts:       make([]bool, n),
+		workers:     workers,
+		shardMsgs:   make([]int, workers),
+		segBounds:   make([]int, workers+1),
+		segLen:      make([]int, workers),
+		start:       make([]chan struct{}, workers),
+		done:        make(chan any, workers),
+		stop:        make(chan struct{}),
+	}
+	for v := range e.active {
+		e.active[v] = int32(v)
+	}
+	e.numChunks = (n + workerChunk - 1) / workerChunk
+	if workers == 1 {
+		// Serial fast path (see runRoundSerial): no pool, no staging.
+		return e
+	}
+	e.buckets = make([][]staged, e.numChunks*workers)
+	e.initShards()
+	for w := 0; w < workers; w++ {
+		e.start[w] = make(chan struct{}, 1)
+		go func(w int) {
+			for {
+				select {
+				case <-e.start[w]:
+					e.done <- e.runWorker(w)
+				case <-e.stop:
+					return
+				}
+			}
+		}(w)
+	}
+	return e
+}
+
+func (e *engine) close() { close(e.stop) }
+
+// initShards cuts the vertex range into contiguous receiver shards of
+// roughly equal adjacency mass (degree+1 per vertex, so isolated vertices
+// still spread): incoming-message load is proportional to degree under
+// broadcasts, and a static degree-balanced cut keeps hub-heavy graphs from
+// serializing delivery on one worker. Shard boundaries affect load balance
+// only, never outputs — each receiver is owned by exactly one worker.
+func (e *engine) initShards() {
+	n := len(e.progs)
+	e.shardOf = make([]int32, n)
+	e.shardLo = make([]int32, e.workers+1)
+	total := int64(2*e.nw.G.M() + n)
+	cum := int64(0)
+	s := 0
+	for v := 0; v < n; v++ {
+		if s+1 < e.workers && cum >= total*int64(s+1)/int64(e.workers) {
+			s++
+			e.shardLo[s] = int32(v)
+		}
+		e.shardOf[v] = int32(s)
+		cum += int64(e.offsets[v+1]-e.offsets[v]) + 1
+	}
+	for t := s + 1; t <= e.workers; t++ {
+		e.shardLo[t] = int32(n)
+	}
+}
+
+// runWorker executes the dispatched phase, forwarding a recovered panic so
+// Program bugs surface on the coordinating goroutine as they always have.
+func (e *engine) runWorker(w int) (panicked any) {
+	defer func() { panicked = recover() }()
+	e.phase(w)
+	return nil
+}
+
+// runPhase runs f on every pool worker and blocks until all finish. The
+// start/done channel pair orders the coordinator's writes (phase, segment
+// bounds, buffer swaps) before the workers' reads and vice versa.
+func (e *engine) runPhase(f func(worker int)) {
+	e.phase = f
+	e.cursor.Store(0)
+	for w := 0; w < e.workers; w++ {
+		e.start[w] <- struct{}{}
+	}
+	var panicked any
+	for w := 0; w < e.workers; w++ {
+		if p := <-e.done; p != nil {
+			panicked = p
+		}
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// runRound executes one synchronous round: step phase, then the combined
+// delivery+compaction phase, then the inbox generation swap and active-list
+// concatenation on the coordinator.
+func (e *engine) runRound() {
+	if e.workers == 1 {
+		e.runRoundSerial()
+		return
+	}
+	e.numChunks = (len(e.active) + workerChunk - 1) / workerChunk
+	e.runPhase(e.stepPhase)
+	e.prepareSegments()
+	e.runPhase(e.deliverPhase)
+	// Swap inbox generations: last round's receive buffers become this
+	// round's (cleared) send buffers, reusing their backing arrays.
+	e.inboxes, e.nextInboxes = e.nextInboxes, e.inboxes
+	// Concatenate the per-segment compactions. Each segment was compacted
+	// in place, so the copy destination never overtakes its source.
+	kept := e.active[:0]
+	for w := 0; w < e.workers; w++ {
+		lo := e.segBounds[w]
+		kept = append(kept, e.active[lo:lo+e.segLen[w]]...)
+	}
+	e.active = kept
+}
+
+// stepPhase claims chunks of the active list and steps their nodes, staging
+// every outgoing message into this chunk's buckets.
+func (e *engine) stepPhase(int) {
+	for {
+		lo := e.cursor.Add(workerChunk) - workerChunk
+		if lo >= int64(len(e.active)) {
+			return
+		}
+		hi := lo + workerChunk
+		if hi > int64(len(e.active)) {
+			hi = int64(len(e.active))
+		}
+		base := int(lo/workerChunk) * e.workers
+		for _, v32 := range e.active[lo:hi] {
+			v := int(v32)
+			out, halt := e.progs[v].Step(e.round, e.inboxes[v])
+			e.halts[v] = halt
+			if len(out) > 0 {
+				e.stage(base, v, out)
+			}
+		}
+	}
+}
+
+// stage routes one node's outbox into the staging buckets of its chunk
+// (bucket index base+shard). A Broadcast on a degree-0 vertex stages — and
+// counts — nothing; any other out-of-range port is a Program bug and
+// panics, including ports on degree-0 vertices where no send is valid.
+func (e *engine) stage(base, v int, out []Outbound) {
+	lo, hi := e.offsets[v], e.offsets[v+1]
+	deg := int(hi - lo)
+	for _, o := range out {
+		if o.Port == Broadcast {
+			for i := lo; i < hi; i++ {
+				w := e.nbrs[i]
+				b := base + int(e.shardOf[w])
+				e.buckets[b] = append(e.buckets[b], staged{to: w, port: e.mirror[i], msg: o.Msg})
+			}
+			continue
+		}
+		if o.Port < 0 || o.Port >= deg {
+			panic(fmt.Sprintf("local: node %d (degree %d) sent to invalid port %d", v, deg, o.Port))
+		}
+		i := lo + int32(o.Port)
+		w := e.nbrs[i]
+		b := base + int(e.shardOf[w])
+		e.buckets[b] = append(e.buckets[b], staged{to: w, port: e.mirror[i], msg: o.Msg})
+	}
+}
+
+// runRoundSerial is the single-worker fast path: with one worker the chunk
+// claiming order is exactly the delivery order, so every message goes
+// straight into the receive buffers with no staging hop and no pool
+// dispatch. It produces byte-for-byte the inbox order the sharded path
+// reproduces (the cross-GOMAXPROCS tests hold the two paths against each
+// other).
+func (e *engine) runRoundSerial() {
+	for v := range e.nextInboxes {
+		e.nextInboxes[v] = e.nextInboxes[v][:0]
+	}
+	count := 0
+	for _, v32 := range e.active {
+		v := int(v32)
+		out, halt := e.progs[v].Step(e.round, e.inboxes[v])
+		e.halts[v] = halt
+		count += e.deliverDirect(v, out)
+	}
+	e.shardMsgs[0] = count
+	e.inboxes, e.nextInboxes = e.nextInboxes, e.inboxes
+	kept := e.active[:0]
+	for _, v := range e.active {
+		if !e.halts[v] {
+			kept = append(kept, v)
+		}
+	}
+	e.active = kept
+}
+
+// deliverDirect routes one node's outbox straight into the receive buffers
+// (serial path only), returning the number of messages delivered. Port
+// semantics match stage exactly.
+func (e *engine) deliverDirect(v int, out []Outbound) int {
+	lo, hi := e.offsets[v], e.offsets[v+1]
+	deg := int(hi - lo)
+	count := 0
+	for _, o := range out {
+		if o.Port == Broadcast {
+			for i := lo; i < hi; i++ {
+				w := e.nbrs[i]
+				e.nextInboxes[w] = append(e.nextInboxes[w], Inbound{Port: int(e.mirror[i]), Msg: o.Msg})
+			}
+			count += deg
+			continue
+		}
+		if o.Port < 0 || o.Port >= deg {
+			panic(fmt.Sprintf("local: node %d (degree %d) sent to invalid port %d", v, deg, o.Port))
+		}
+		i := lo + int32(o.Port)
+		w := e.nbrs[i]
+		e.nextInboxes[w] = append(e.nextInboxes[w], Inbound{Port: int(e.mirror[i]), Msg: o.Msg})
+		count++
+	}
+	return count
+}
+
+// prepareSegments splits the active list into one contiguous compaction
+// segment per worker for the delivery phase.
+func (e *engine) prepareSegments() {
+	n := len(e.active)
+	per := (n + e.workers - 1) / e.workers
+	for s := 0; s <= e.workers; s++ {
+		b := s * per
+		if b > n {
+			b = n
+		}
+		e.segBounds[s] = b
+	}
+}
+
+// deliverPhase is worker w's half of the delivery round: drain the staged
+// buckets addressed to its receiver shard in ascending chunk order, then
+// compact its segment of the active list in place.
+func (e *engine) deliverPhase(w int) {
+	// All of this shard's receive buffers are cleared — halted nodes still
+	// receive deliveries (never read, as before), and clearing keeps those
+	// bounded to one round's worth instead of accumulating for the run.
+	for v := e.shardLo[w]; v < e.shardLo[w+1]; v++ {
+		e.nextInboxes[v] = e.nextInboxes[v][:0]
+	}
+	count := 0
+	for c := 0; c < e.numChunks; c++ {
+		idx := c*e.workers + w
+		b := e.buckets[idx]
+		for i := range b {
+			e.nextInboxes[b[i].to] = append(e.nextInboxes[b[i].to], Inbound{Port: int(b[i].port), Msg: b[i].msg})
+		}
+		count += len(b)
+		clear(b) // drop message references; keep capacity for the next round
+		e.buckets[idx] = b[:0]
+	}
+	e.shardMsgs[w] = count
+
+	lo, hi := e.segBounds[w], e.segBounds[w+1]
+	seg := e.active[lo:hi]
+	k := 0
+	for _, v := range seg {
+		if !e.halts[v] {
+			seg[k] = v
+			k++
+		}
+	}
+	e.segLen[w] = k
+}
+
+// roundMessages aggregates the per-shard delivery counters into the round's
+// total. The sum is independent of sharding: every staged message is
+// counted exactly once.
+func (e *engine) roundMessages() int {
+	total := 0
+	for _, c := range e.shardMsgs {
+		total += c
+	}
+	return total
+}
+
+// outputs collects every node's Output in a chunked pool phase. Programs
+// are independent state machines, so reading them in parallel is safe; slot
+// v is written by exactly one worker.
+func (e *engine) outputs() []any {
+	n := len(e.progs)
+	out := make([]any, n)
+	if e.workers == 1 {
+		for v := 0; v < n; v++ {
+			out[v] = e.progs[v].Output()
+		}
+		return out
+	}
+	e.runPhase(func(int) {
+		for {
+			lo := e.cursor.Add(workerChunk) - workerChunk
+			if lo >= int64(n) {
+				return
+			}
+			hi := lo + workerChunk
+			if hi > int64(n) {
+				hi = int64(n)
+			}
+			for v := lo; v < hi; v++ {
+				out[v] = e.progs[v].Output()
+			}
+		}
+	})
+	return out
+}
+
 // RunSync executes one Program instance per node until every node halts (or
 // maxRounds elapses, an error). It returns each node's Output and charges
 // the ledger under the given phase name.
 //
-// Execution engine: a bounded worker pool, not one goroutine per node. The
-// pool holds min(GOMAXPROCS, n) long-lived workers that persist across
-// rounds; each round the active nodes are sharded across the workers in
-// chunks claimed off an atomic cursor, and every worker writes each node's
-// (outbox, halt) into per-node result slots — no channels, no sorting, no
-// per-round goroutine churn. Message delivery then runs on the coordinating
-// goroutine in ascending vertex order into double-buffered inboxes (the two
-// buffer generations swap each round and their backing arrays are reused),
-// so executions are deterministic for deterministic programs.
+// Execution engine: a two-phase sharded message plane over a bounded pool
+// of min(GOMAXPROCS, n) long-lived workers (see engine). Node steps,
+// message routing, message delivery, halt compaction and output collection
+// all run on the pool; the coordinator only sequences phases, so the round
+// pipeline is fully parallel. Executions are deterministic for
+// deterministic programs at any GOMAXPROCS: staging buckets are keyed by
+// the position of a node's chunk in the active list and drained in that
+// order, reproducing the sequential engine's ascending-vertex delivery
+// byte for byte. Receiver-side ports are resolved through the graph's
+// precomputed CSR mirror array (graph.Mirror), not a per-message binary
+// search.
+//
+// Factory and Init run on the calling goroutine. Step and Output run on
+// pool workers — at most one per node at a time, so a Program needs no
+// internal locking, but distinct nodes' Programs must not share mutable
+// state.
 //
 // Round accounting follows the standard send/receive convention: messages
 // sent in step k are received at the end of round k and consumed by step
@@ -243,132 +653,25 @@ func RunSync(ctx context.Context, nw *Network, ledger *Ledger, phase string, max
 		ctx = context.Background()
 	}
 	n := nw.G.N()
-	progs := make([]Program, n)
+	e := newEngine(nw)
+	defer e.close()
 	for v := 0; v < n; v++ {
-		progs[v] = factory(v)
-		progs[v].Init(NodeInfo{V: v, ID: nw.ID[v], Degree: nw.G.Degree(v), N: n})
+		e.progs[v] = factory(v)
+		e.progs[v].Init(NodeInfo{V: v, ID: nw.ID[v], Degree: nw.G.Degree(v), N: n})
 	}
-	inboxes := make([][]Inbound, n)
-	nextInboxes := make([][]Inbound, n)
-
-	// active is the list of non-halted nodes, compacted as nodes halt.
-	active := make([]int32, n)
-	for v := range active {
-		active[v] = int32(v)
-	}
-	outboxes := make([][]Outbound, n) // result slot per node, reused
-	halts := make([]bool, n)          // result slot per node
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	// Long-lived pool: workers block on start, claim chunks of the active
-	// list off the shared cursor, and report completion on done. A recovered
-	// panic is forwarded so Program bugs surface as they did under the
-	// goroutine-per-node engine.
-	var (
-		cursor   atomic.Int64
-		round    int
-		start    = make(chan struct{})
-		done     = make(chan any, workers) // nil or recovered panic value
-		stopPool = make(chan struct{})
-	)
-	step := func() (panicked any) {
-		defer func() { panicked = recover() }()
-		for {
-			lo := cursor.Add(workerChunk) - workerChunk
-			if lo >= int64(len(active)) {
-				return nil
-			}
-			hi := lo + workerChunk
-			if hi > int64(len(active)) {
-				hi = int64(len(active))
-			}
-			for _, v := range active[lo:hi] {
-				outboxes[v], halts[v] = progs[v].Step(round, inboxes[v])
-			}
-		}
-	}
-	for w := 0; w < workers; w++ {
-		go func() {
-			for {
-				select {
-				case <-start:
-					done <- step()
-				case <-stopPool:
-					return
-				}
-			}
-		}()
-	}
-	defer close(stopPool)
-
 	rounds := 0
-	for round = 1; len(active) > 0; round++ {
+	for e.round = 1; len(e.active) > 0; e.round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if round > maxRounds {
+		if e.round > maxRounds {
 			return nil, fmt.Errorf("local: exceeded maxRounds=%d in phase %q", maxRounds, phase)
 		}
 		rounds++
-		cursor.Store(0)
-		for w := 0; w < workers; w++ {
-			start <- struct{}{}
-		}
-		var panicked any
-		for w := 0; w < workers; w++ {
-			if p := <-done; p != nil {
-				panicked = p
-			}
-		}
-		if panicked != nil {
-			panic(panicked)
-		}
-		// Swap inbox generations: last round's receive buffers become this
-		// round's (cleared) send buffers, reusing their backing arrays. All
-		// n buffers are cleared — halted nodes still receive deliveries
-		// (never read, as before), and clearing keeps those bounded to one
-		// round's worth instead of accumulating for the whole run.
-		for v := range nextInboxes {
-			nextInboxes[v] = nextInboxes[v][:0]
-		}
-		roundMsgs := 0
-		for _, v32 := range active {
-			v := int(v32)
-			for _, out := range outboxes[v] {
-				if out.Port == Broadcast {
-					for p, w := range nw.G.Neighbors(v) {
-						deliver(nw, nextInboxes, v, p, int(w), out.Msg)
-						roundMsgs++
-					}
-					continue
-				}
-				if out.Port < 0 || out.Port >= nw.G.Degree(v) {
-					panic(fmt.Sprintf("local: node %d sent to invalid port %d", v, out.Port))
-				}
-				w := int(nw.G.Neighbors(v)[out.Port])
-				deliver(nw, nextInboxes, v, out.Port, w, out.Msg)
-				roundMsgs++
-			}
-			outboxes[v] = nil
-		}
+		e.runRound()
 		if ledger != nil {
-			ledger.recordRoundMessages(roundMsgs)
+			ledger.recordRoundMessages(e.roundMessages())
 		}
-		inboxes, nextInboxes = nextInboxes, inboxes
-		kept := active[:0]
-		for _, v := range active {
-			if !halts[v] {
-				kept = append(kept, v)
-			}
-		}
-		active = kept
 	}
 	if ledger != nil {
 		charge := rounds - 1
@@ -377,31 +680,5 @@ func RunSync(ctx context.Context, nw *Network, ledger *Ledger, phase string, max
 		}
 		ledger.Charge(phase, charge)
 	}
-	outputs := make([]any, n)
-	for v := 0; v < n; v++ {
-		outputs[v] = progs[v].Output()
-	}
-	return outputs, nil
-}
-
-// deliver routes a message from sender (via its port senderPort) to the
-// receiver w, tagging it with the receiver-side port.
-func deliver(nw *Network, inboxes [][]Inbound, sender, senderPort, w int, msg Message) {
-	// find receiver-side port: index of sender in w's neighbor list
-	nbrs := nw.G.Neighbors(w)
-	t := int32(sender)
-	lo, hi := 0, len(nbrs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if nbrs[mid] < t {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo >= len(nbrs) || nbrs[lo] != t {
-		panic("local: message to non-neighbor")
-	}
-	inboxes[w] = append(inboxes[w], Inbound{Port: lo, Msg: msg})
-	_ = senderPort
+	return e.outputs(), nil
 }

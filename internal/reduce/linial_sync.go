@@ -80,39 +80,45 @@ func linialStep(own int, nbrs []int, q, t int) int {
 
 func (p *linialProgram) Output() any { return p.color }
 
+// linialFixpoint returns the final palette size and the iteration count of
+// Linial's palette sequence n → q² → … for max degree d: the sequence every
+// node tracks in lockstep, and therefore the exact round cost of the sync
+// program.
+func linialFixpoint(n, d int) (palette, iters int) {
+	k := n
+	for {
+		q, _ := linialPrime(k, max(d, 1))
+		if q*q >= k {
+			return k, iters
+		}
+		k = q * q
+		iters++
+	}
+}
+
 // LinialColorSync runs Linial's reduction with real message passing and
 // returns the coloring plus the final palette size. Semantically identical
 // to LinialColor (same fixpoint palette); used for cross-validation and the
-// CONGEST narrative.
+// CONGEST narrative. The engine guard is the exact fixpoint iteration
+// count (known in advance from n and Δ) plus the output step — not a
+// hardcoded constant.
 func LinialColorSync(ctx context.Context, nw *local.Network, ledger *local.Ledger, phase string) ([]int, int, error) {
 	g := nw.G
 	d := g.MaxDegree()
-	outs, err := local.RunSync(ctx, nw, ledger, phase, 64, func(v int) local.Program {
+	k, iters := linialFixpoint(g.N(), d)
+	outs, err := local.RunSync(ctx, nw, ledger, phase, iters+2, func(v int) local.Program {
 		return &linialProgram{d: d}
 	})
 	if err != nil {
 		return nil, 0, err
 	}
 	colors := make([]int, g.N())
-	maxC := 0
 	for v, o := range outs {
 		c, ok := o.(int)
 		if !ok || c < 0 {
 			return nil, 0, fmt.Errorf("reduce: node %d produced no color", v)
 		}
 		colors[v] = c
-		if c > maxC {
-			maxC = c
-		}
-	}
-	// final palette size: recompute the fixpoint sequence
-	k := g.N()
-	for {
-		q, _ := linialPrime(k, max(d, 1))
-		if q*q >= k {
-			break
-		}
-		k = q * q
 	}
 	return colors, k, nil
 }

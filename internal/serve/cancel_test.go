@@ -219,7 +219,7 @@ func TestStreamColorsChunksAndFlushes(t *testing.T) {
 		colors[i] = i % 7
 	}
 	w := &flushCountingWriter{ResponseRecorder: httptest.NewRecorder()}
-	streamColors(w, colors)
+	streamColors(w, colors, 0, len(colors), false)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d", w.Code)
 	}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"distcolor"
+)
+
+// submitGridJob runs one girth6 job on a path graph and returns its id.
+func submitGridJob(t *testing.T, tsURL string, n int) string {
+	t.Helper()
+	code, raw := doJSON(t, "POST", tsURL+"/v1/jobs?wait=true&timeout=120s",
+		map[string]any{"gen": fmt.Sprintf("path:%d", n), "algo": "girth6", "seed": 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	jj := decode[jobJSON](t, raw)
+	if jj.Status != StatusDone {
+		t.Fatalf("job not done: %+v", jj)
+	}
+	return jj.ID
+}
+
+func TestRangedColorReads(t *testing.T) {
+	const n = 500
+	_, ts := newTestServer(t, Options{Workers: 2})
+	id := submitGridJob(t, ts.URL, n)
+
+	// full read, for cross-checking the ranged slices
+	code, raw := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"/colors", nil)
+	if code != http.StatusOK {
+		t.Fatalf("full read: status %d: %s", code, raw)
+	}
+	full := decode[struct {
+		Colors []int `json:"colors"`
+	}](t, raw).Colors
+	if len(full) != n {
+		t.Fatalf("full read returned %d colors, want %d", len(full), n)
+	}
+
+	ranges := []struct{ from, count int }{
+		{0, 10}, {100, 250}, {n - 7, 7}, {0, n}, {n, 0}, {42, 0},
+	}
+	for _, r := range ranges {
+		url := fmt.Sprintf("%s/v1/jobs/%s/colors?from=%d&count=%d", ts.URL, id, r.from, r.count)
+		code, raw := doJSON(t, "GET", url, nil)
+		if code != http.StatusOK {
+			t.Fatalf("range %+v: status %d: %s", r, code, raw)
+		}
+		got := decode[struct {
+			From   int   `json:"from"`
+			Total  int   `json:"total"`
+			Colors []int `json:"colors"`
+		}](t, raw)
+		if got.From != r.from || got.Total != n {
+			t.Errorf("range %+v: echoed from=%d total=%d", r, got.From, got.Total)
+		}
+		if len(got.Colors) != r.count {
+			t.Fatalf("range %+v: got %d colors", r, len(got.Colors))
+		}
+		for i, c := range got.Colors {
+			if c != full[r.from+i] {
+				t.Fatalf("range %+v: color %d is %d, full read says %d", r, i, c, full[r.from+i])
+			}
+		}
+	}
+
+	// from without count = the tail
+	code, raw = doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%s/colors?from=%d", ts.URL, id, n-5), nil)
+	if code != http.StatusOK {
+		t.Fatalf("tail read: status %d: %s", code, raw)
+	}
+	tail := decode[struct {
+		Colors []int `json:"colors"`
+	}](t, raw).Colors
+	if len(tail) != 5 {
+		t.Fatalf("tail read returned %d colors, want 5", len(tail))
+	}
+}
+
+func TestRangedColorReadErrors(t *testing.T) {
+	const n = 40
+	_, ts := newTestServer(t, Options{Workers: 2})
+	id := submitGridJob(t, ts.URL, n)
+
+	outOfRange := []string{
+		"from=-1",
+		fmt.Sprintf("from=%d", n+1),
+		fmt.Sprintf("from=0&count=%d", n+1),
+		fmt.Sprintf("from=%d&count=1", n),
+		"from=30&count=20",
+		"count=-3",
+	}
+	for _, q := range outOfRange {
+		code, raw := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"/colors?"+q, nil)
+		if code != http.StatusRequestedRangeNotSatisfiable {
+			t.Errorf("%s: status %d (want 416): %s", q, code, raw)
+		}
+	}
+	for _, q := range []string{"from=abc", "count=1.5", "from=0x10"} {
+		code, raw := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"/colors?"+q, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", q, code, raw)
+		}
+	}
+}
+
+// TestRangedColorReadOnClique: a clique certificate has no color array to
+// slice — a ranged read must fail loudly (409), never silently return the
+// full unranged body.
+func TestRangedColorReadOnClique(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/jobs?wait=true&timeout=120s",
+		map[string]any{"gen": "apollonian:60", "algo": "sparse", "d": 3, "seed": 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	jj := decode[jobJSON](t, raw)
+	if jj.Status != StatusDone || len(jj.Clique) == 0 {
+		t.Fatalf("expected a clique certificate, got %+v", jj)
+	}
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/jobs/"+jj.ID+"/colors", nil)
+	if code != http.StatusOK {
+		t.Fatalf("unranged clique read: status %d: %s", code, raw)
+	}
+	if cl := decode[struct {
+		Clique []int `json:"clique"`
+	}](t, raw); len(cl.Clique) != len(jj.Clique) {
+		t.Fatalf("clique body %s", raw)
+	}
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/jobs/"+jj.ID+"/colors?from=0&count=1", nil)
+	if code != http.StatusConflict {
+		t.Fatalf("ranged clique read: status %d (want 409): %s", code, raw)
+	}
+}
+
+func TestAlgorithmsRoundBound(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, raw := doJSON(t, "GET", ts.URL+"/v1/algorithms", nil)
+	if code != http.StatusOK {
+		t.Fatalf("algorithms: status %d", code)
+	}
+	type algoJSON struct {
+		Name       string `json:"name"`
+		RoundBound int    `json:"round_bound"`
+	}
+	got := decode[struct {
+		Algorithms []algoJSON     `json:"algorithms"`
+		At         map[string]int `json:"round_bound_at"`
+	}](t, raw)
+	if got.At["n"] != distcolor.RoundBoundRefN || got.At["maxdeg"] != distcolor.RoundBoundRefMaxDeg {
+		t.Fatalf("default evaluation point %v", got.At)
+	}
+	byName := map[string]int{}
+	for _, a := range got.Algorithms {
+		byName[a.Name] = a.RoundBound
+	}
+	for _, name := range []string{"planar6", "luby", "gps7", "sparse"} {
+		if byName[name] <= 0 {
+			t.Errorf("algorithm %s reports no round bound", name)
+		}
+	}
+
+	// the bound is a live function of (n, maxdeg), not a constant
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/algorithms?n=100&maxdeg=4", nil)
+	if code != http.StatusOK {
+		t.Fatalf("algorithms?n=100: status %d", code)
+	}
+	small := decode[struct {
+		Algorithms []algoJSON `json:"algorithms"`
+	}](t, raw)
+	for _, a := range small.Algorithms {
+		if a.RoundBound >= byName[a.Name] && byName[a.Name] > 0 {
+			t.Errorf("algorithm %s: bound at n=100 (%d) not below bound at n=10⁶ (%d)",
+				a.Name, a.RoundBound, byName[a.Name])
+		}
+	}
+
+	// absurd client inputs are clamped, never overflowed into negatives
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/algorithms?n=9999999999999&maxdeg=2000000001", nil)
+	if code != http.StatusOK {
+		t.Fatalf("algorithms with huge params: status %d", code)
+	}
+	huge := decode[struct {
+		Algorithms []algoJSON `json:"algorithms"`
+	}](t, raw)
+	for _, a := range huge.Algorithms {
+		if a.RoundBound < 0 {
+			t.Errorf("algorithm %s: overflowed round bound %d", a.Name, a.RoundBound)
+		}
+	}
+
+	// malformed or non-positive evaluation points are 400, not silently
+	// replaced by the defaults
+	for _, q := range []string{"n=abc", "n=5e6", "n=-1", "maxdeg=0", "maxdeg=x"} {
+		code, raw := doJSON(t, "GET", ts.URL+"/v1/algorithms?"+q, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", q, code, raw)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -51,8 +52,9 @@ type Options struct {
 	// QueueDepth bounds jobs waiting to run (default 256); batches that
 	// would exceed it are rejected with 429.
 	QueueDepth int
-	// GraphCacheWeight bounds the graph store in adjacency entries, n + 2m
-	// summed over cached graphs (default 64M entries ≈ 256 MiB of int32 CSR).
+	// GraphCacheWeight bounds the graph store in adjacency entries, n + 4m
+	// summed over cached graphs — CSR plus the engine's delivery mirror
+	// (default 64M entries ≈ 256 MiB of int32).
 	GraphCacheWeight int64
 	// RetainJobs bounds retained terminal jobs (default 4096).
 	RetainJobs int
@@ -556,6 +558,9 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAlgorithms is GET /v1/algorithms: the registry, self-described.
+// Each algorithm that declares RoundBound metadata reports its predicted
+// round ceiling at (?n, ?maxdeg), defaulting to n=10⁶, Δ=100 — cost
+// prediction before submitting a job.
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	type paramJSON struct {
 		Name    string  `json:"name"`
@@ -563,10 +568,32 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 		Default float64 `json:"default"`
 	}
 	type algoJSON struct {
-		Name    string      `json:"name"`
-		Doc     string      `json:"doc,omitempty"`
-		Theorem string      `json:"theorem,omitempty"`
-		Params  []paramJSON `json:"params,omitempty"`
+		Name       string      `json:"name"`
+		Doc        string      `json:"doc,omitempty"`
+		Theorem    string      `json:"theorem,omitempty"`
+		Params     []paramJSON `json:"params,omitempty"`
+		RoundBound int         `json:"round_bound,omitempty"`
+	}
+	// Clamp the evaluation point: n to the int32 CSR limit no real graph
+	// can exceed, maxdeg to distcolor.RoundBoundMaxDeg so a quadratic
+	// bound formula cannot overflow into a negative "prediction".
+	n, maxDeg := distcolor.RoundBoundRefN, distcolor.RoundBoundRefMaxDeg
+	q := r.URL.Query()
+	if s := q.Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad n %q: want a positive integer", s)
+			return
+		}
+		n = min(v, math.MaxInt32)
+	}
+	if s := q.Get("maxdeg"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad maxdeg %q: want a positive integer", s)
+			return
+		}
+		maxDeg = min(v, distcolor.RoundBoundMaxDeg)
 	}
 	var out []algoJSON
 	for _, a := range distcolor.Algorithms() {
@@ -574,11 +601,24 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 		for _, p := range a.Params {
 			aj.Params = append(aj.Params, paramJSON{Name: p.Name, Doc: p.Doc, Default: p.Default})
 		}
+		if a.RoundBound != nil {
+			if b := a.RoundBound(n, maxDeg); b > 0 {
+				aj.RoundBound = b
+			}
+		}
 		out = append(out, aj)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"algorithms":     out,
+		"round_bound_at": map[string]int{"n": n, "maxdeg": maxDeg},
+	})
 }
 
+// handleGetColors is GET /v1/jobs/{id}/colors[?from=..&count=..]: the full
+// assignment by default, or — for partial fetches of huge results — the
+// ranged slice [from, from+count). Both forms stream in fixed-size chunks.
+// Malformed range parameters are 400; a range outside [0, n] is 416 with a
+// Content-Range header naming the valid extent.
 func (s *Server) handleGetColors(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
@@ -592,10 +632,63 @@ func (s *Server) handleGetColors(w http.ResponseWriter, r *http.Request) {
 	case v.Result == nil:
 		writeError(w, http.StatusConflict, "job %s is %s; colors are available once done", j.ID, v.Status)
 	case v.Result.Clique != nil:
+		// A clique certificate has no color array to slice; a ranged
+		// request would otherwise get the full unranged body with 200 and
+		// no signal that the range was ignored.
+		if q := r.URL.Query(); q.Get("from") != "" || q.Get("count") != "" {
+			writeError(w, http.StatusConflict,
+				"job %s produced a clique certificate; ranged color reads do not apply", j.ID)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"clique": v.Result.Clique})
 	default:
-		streamColors(w, v.Result.Colors)
+		colors := v.Result.Colors
+		from, count, ranged, err := parseColorRange(r, len(colors))
+		if err != nil {
+			var rng *rangeError
+			if errors.As(err, &rng) {
+				w.Header().Set("Content-Range", fmt.Sprintf("items */%d", len(colors)))
+				writeError(w, http.StatusRequestedRangeNotSatisfiable, "%v", err)
+			} else {
+				writeError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		streamColors(w, colors, from, count, ranged)
 	}
+}
+
+// rangeError marks a syntactically valid but unsatisfiable color range.
+type rangeError struct{ msg string }
+
+func (e *rangeError) Error() string { return e.msg }
+
+// parseColorRange resolves the optional from/count query parameters against
+// a result of total colors. Defaults: from=0, count=total-from. Malformed
+// values are plain errors (→ 400); integers outside [0, total] are
+// *rangeError (→ 416). from == total with count 0 is a valid empty slice.
+func parseColorRange(r *http.Request, total int) (from, count int, ranged bool, err error) {
+	q := r.URL.Query()
+	fs, cs := q.Get("from"), q.Get("count")
+	from, count, ranged = 0, total, fs != "" || cs != ""
+	if fs != "" {
+		if from, err = strconv.Atoi(fs); err != nil {
+			return 0, 0, ranged, fmt.Errorf("bad from %q: %v", fs, err)
+		}
+		if from < 0 || from > total {
+			return 0, 0, ranged, &rangeError{fmt.Sprintf("from %d outside [0, %d]", from, total)}
+		}
+	}
+	count = total - from
+	if cs != "" {
+		if count, err = strconv.Atoi(cs); err != nil {
+			return 0, 0, ranged, fmt.Errorf("bad count %q: %v", cs, err)
+		}
+		if count < 0 || count > total-from {
+			return 0, 0, ranged, &rangeError{fmt.Sprintf("count %d outside [0, %d] at from %d", count, total-from, from)}
+		}
+	}
+	return from, count, ranged, nil
 }
 
 // colorChunk is how many colors streamColors writes per flush: large enough
@@ -603,17 +696,22 @@ func (s *Server) handleGetColors(w http.ResponseWriter, r *http.Request) {
 // never forces the whole array into one buffer.
 const colorChunk = 8192
 
-// streamColors writes {"colors":[...]} incrementally: the assignment is
-// encoded chunk by chunk into a reused buffer and flushed after every
-// chunk, so the response memory footprint is O(colorChunk) regardless of n
-// (ROADMAP "server-side result streaming").
-func streamColors(w http.ResponseWriter, colors []int) {
+// streamColors writes the slice colors[from:from+count] incrementally as
+// {"colors":[...]} (full reads) or {"from":f,"total":n,"colors":[...]}
+// (ranged reads): the assignment is encoded chunk by chunk into a reused
+// buffer and flushed after every chunk, so the response memory footprint is
+// O(colorChunk) regardless of n (ROADMAP "server-side result streaming").
+func streamColors(w http.ResponseWriter, colors []int, from, count int, ranged bool) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	buf := make([]byte, 0, colorChunk*8)
-	buf = append(buf, `{"colors":[`...)
-	for i, c := range colors {
+	if ranged {
+		buf = fmt.Appendf(buf, `{"from":%d,"total":%d,"colors":[`, from, len(colors))
+	} else {
+		buf = append(buf, `{"colors":[`...)
+	}
+	for i, c := range colors[from : from+count] {
 		if i > 0 {
 			buf = append(buf, ',')
 		}

@@ -10,7 +10,8 @@ import (
 
 // GraphStore caches parsed graphs in CSR form behind opaque IDs so repeated
 // jobs on the same graph never re-parse or re-generate. It is a strict LRU
-// bounded by total adjacency weight (n + 2m summed over residents — a close
+// bounded by total adjacency weight (n + 4m summed over residents — the CSR
+// arrays plus the delivery mirror every served graph materializes, a close
 // proxy for resident memory). Evicted graphs stay alive while running jobs
 // hold references; the store just forgets them.
 //
@@ -35,8 +36,11 @@ type storedGraph struct {
 	specKey string // non-empty for gen-spec graphs (dedup key)
 }
 
-// graphWeight is the store accounting unit for one graph.
-func graphWeight(g *graph.Graph) int64 { return int64(g.N()) + 2*int64(g.M()) }
+// graphWeight is the store accounting unit for one graph: the CSR offsets
+// plus neighbor array (n + 2m int32 entries) plus the same-sized CSR mirror
+// array (graph.Mirror, another 2m) that the message-passing engine
+// materializes — and the graph then caches for life — on the first job.
+func graphWeight(g *graph.Graph) int64 { return int64(g.N()) + 4*int64(g.M()) }
 
 // NewGraphStore returns a store bounded by capacity adjacency entries
 // (vertices + directed edges). A capacity ≤ 0 panics: a serving layer with

@@ -79,18 +79,19 @@ func (p *lubyProgram) Output() any { return p.color }
 
 func init() {
 	MustRegister(&Algorithm{
-		Name:    "luby",
-		Doc:     "Luby-style randomized (Δ+1)-coloring with ½-probability wake-ups (baseline)",
-		Theorem: "baseline (Luby 1986)",
-		Lists:   ListsNone,
-		Smoke:   "regular:60,3",
+		Name:       "luby",
+		Doc:        "Luby-style randomized (Δ+1)-coloring with ½-probability wake-ups (baseline)",
+		Theorem:    "baseline (Luby 1986)",
+		Lists:      ListsNone,
+		Smoke:      "regular:60,3",
+		RoundBound: lubyStyleBound,
 		Run: func(ctx context.Context, g *Graph, rc *RunConfig) (*Coloring, error) {
 			rng := rc.RNG()
 			nw := local.NewShuffledNetwork(g, rng)
 			delta := g.MaxDegree()
 			ledger := &local.Ledger{Progress: rc.ledgerProgress()}
 			seed := rng.Uint64()
-			outs, err := local.RunSync(ctx, nw, ledger, "luby", 100000, func(v int) local.Program {
+			outs, err := local.RunSync(ctx, nw, ledger, "luby", rc.MaxRounds(g), func(v int) local.Program {
 				palette := make([]int, delta+1)
 				for i := range palette {
 					palette[i] = i

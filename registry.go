@@ -91,8 +91,48 @@ type Algorithm struct {
 	// parameters; `distcolor -smoke` runs every registered algorithm on
 	// its Smoke graph.
 	Smoke string
+	// RoundBound, when non-nil, returns a safe upper bound on the LOCAL
+	// round cost of a run on a graph with n vertices and maximum degree
+	// maxDeg, under default parameters — the registry's cost-prediction
+	// metadata, surfaced by GET /v1/algorithms and `distcolor -list-algos`.
+	// Algorithms that drive the message-passing engine directly (luby,
+	// randomized) also enforce it as their maxRounds guard via
+	// RunConfig.MaxRounds, so a run that blows past its declared bound
+	// fails loudly instead of spinning; for the centrally simulated core
+	// algorithms, which carry their own internal guards, the bound is
+	// advisory.
+	RoundBound func(n, maxDeg int) int
 	// Run executes the algorithm.
 	Run RunFunc
+}
+
+// RoundBoundRefN and RoundBoundRefMaxDeg are the canonical (n, maxDeg)
+// point at which RoundBound metadata is quoted when no workload is named —
+// the GET /v1/algorithms default and the `distcolor -list-algos` column.
+// RoundBoundMaxDeg is the largest maxDeg a bound is ever evaluated at:
+// callers clamp to it so quadratic bound formulas cannot overflow int64
+// (16·RoundBoundMaxDeg² fits), and the built-in formulas clamp again
+// themselves.
+const (
+	RoundBoundRefN      = 1_000_000
+	RoundBoundRefMaxDeg = 100
+	RoundBoundMaxDeg    = 500_000_000
+)
+
+// defaultMaxRounds is the engine guard for algorithms that declare no
+// RoundBound: generous enough for any polylog-round run at realistic n,
+// small enough that a non-terminating program still fails.
+const defaultMaxRounds = 1 << 20
+
+// MaxRounds returns the engine's maxRounds guard for a run on g: the
+// algorithm's RoundBound metadata when declared, else defaultMaxRounds.
+func (rc *RunConfig) MaxRounds(g *Graph) int {
+	if rc.algo != nil && rc.algo.RoundBound != nil {
+		if b := rc.algo.RoundBound(g.N(), g.MaxDegree()); b > 0 {
+			return b
+		}
+	}
+	return defaultMaxRounds
 }
 
 // RunConfig is the resolved form of a Run invocation's options, handed to
