@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench serve staticcheck
+.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench bench-json fuzz-smoke serve staticcheck
+
+# Benchmarks recorded in the persistent BENCH_PR.json trajectory (and gated
+# by bench-smoke): the engine acceptance suite plus the graph-layer
+# primitives its hot path leans on.
+BENCH_JSON_PAT = BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery|BenchmarkHappySet|BenchmarkBlocks|BenchmarkGallai|BenchmarkBFS|BenchmarkDegeneracy|BenchmarkGirth|BenchmarkDegreeListColor
+BENCH_JSON_PKGS = . ./internal/graph ./internal/seqcolor
 
 all: ci
 
-ci: fmt-check vet build test test-serial test-race smoke bench-smoke
+ci: fmt-check vet build test test-serial test-race smoke bench-smoke fuzz-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -32,7 +38,7 @@ test-serial:
 # cross-GOMAXPROCS determinism tests.
 test-race:
 	$(GO) test -race ./internal/serve/... ./internal/local/...
-	$(GO) test -race -run 'Cancel|Registry|Deadline|Progress|Luby|Deterministic' .
+	$(GO) test -race -run 'Cancel|Registry|Deadline|Progress|Luby|Deterministic|ProperColoring|Golden' .
 
 # Registry-driven CLI smoke: runs every distcolor.Algorithms() entry on its
 # tiny Algorithm.Smoke graph through the same wire path the server uses.
@@ -49,11 +55,27 @@ serve:
 	$(GO) build -o bin/distcolor-serve ./cmd/distcolor-serve
 	./bin/distcolor-serve -addr :8080
 
-# One-iteration benchmark pass over the engine acceptance benchmarks: a
-# smoke test that the benchmark paths still run, not a measurement.
+# Quick benchmark pass over the engine acceptance benchmarks, gated against
+# the committed BENCH_PR.json baseline: fails when any shared benchmark's
+# ns/op exceeds 1.5× its committed value. The wide tolerance absorbs
+# machine-to-machine and scheduler noise at 3 iterations; refresh the
+# baseline with `make bench-json` when a real perf change lands.
 bench-smoke:
-	$(GO) test -run xxx -benchtime 1x \
-		-bench 'BenchmarkSparseListColor/.*/n1e[34]$$|BenchmarkCollectBallsSync/grid20x20|BenchmarkRunSyncDelivery' .
+	$(GO) test -run xxx -benchtime 3x -benchmem \
+		-bench 'BenchmarkSparseListColor/.*/n1e[34]$$|BenchmarkCollectBallsSync/grid20x20|BenchmarkRunSyncDelivery' . \
+		| $(GO) run ./cmd/benchjson -check BENCH_PR.json -tolerance 1.5
+
+# Regenerate the persistent benchmark trajectory BENCH_PR.json (committed;
+# CI re-emits it as an artifact on every run so each PR lands a point on
+# the perf trajectory — see README "Performance").
+bench-json:
+	$(GO) test -run xxx -benchtime 3x -benchmem -bench '$(BENCH_JSON_PAT)' $(BENCH_JSON_PKGS) \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR.json
+
+# Short native-fuzz smoke over the edge-list parser (the committed seed
+# corpus always runs in plain `go test`; this explores beyond it).
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph
 
 # Full engine benchmark sweep (slow; use benchstat across commits).
 bench:

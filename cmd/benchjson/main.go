@@ -1,0 +1,152 @@
+// Command benchjson turns `go test -bench -benchmem` output into the
+// repository's persistent benchmark trajectory file (BENCH_PR.json) and
+// gates regressions against a committed baseline.
+//
+// Two modes, composable in one invocation:
+//
+//	go test -run xxx -bench ... -benchmem ./... | benchjson -out BENCH_PR.json
+//	go test -run xxx -bench ... -benchmem ./... | benchjson -check BENCH_PR.json -tolerance 1.5
+//
+// The emitted JSON maps each benchmark name (GOMAXPROCS suffix stripped) to
+// its ns/op and allocs/op. When a benchmark appears more than once in the
+// input (-count > 1), the minimum ns/op line wins — the least-interference
+// sample is the closest to the code's true cost. -check compares only names
+// present in both files, so adding or retiring benchmarks never fails the
+// gate; a present benchmark whose ns/op exceeds baseline × tolerance does.
+// ns/op is the gated quantity; allocs/op is recorded for trend reading but
+// not gated (it is exact, so any change is visible in the committed diff).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded trajectory point.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSparseListColor/random-sparse/n1e4-8  20  20400039 ns/op  1.47 MB/s  11185036 B/op  91158 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`([0-9]+) allocs/op`)
+
+// parse reads benchmark lines from r, keeping the minimum ns/op per name.
+func parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := Result{NsPerOp: ns, AllocsPerOp: -1}
+		if a := allocsField.FindStringSubmatch(m[3]); a != nil {
+			res.AllocsPerOp, _ = strconv.ParseInt(a[1], 10, 64)
+		}
+		if prev, ok := out[m[1]]; !ok || res.NsPerOp < prev.NsPerOp {
+			out[m[1]] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+	return out, nil
+}
+
+// check compares results against a baseline, returning one line per shared
+// benchmark that regressed beyond tolerance (new ns/op > old × tolerance).
+func check(results, baseline map[string]Result, tolerance float64) []string {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		if _, ok := baseline[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, name := range names {
+		oldNs, newNs := baseline[name].NsPerOp, results[name].NsPerOp
+		if newNs > oldNs*tolerance {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx tolerance)",
+				name, newNs, oldNs, newNs/oldNs, tolerance))
+		}
+	}
+	return bad
+}
+
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing baseline %s: %w", path, err)
+	}
+	return out, nil
+}
+
+func run(in io.Reader, stderr io.Writer, outPath, checkPath string, tolerance float64) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
+	}
+	if checkPath != "" {
+		baseline, err := loadBaseline(checkPath)
+		if err != nil {
+			return err
+		}
+		if bad := check(results, baseline, tolerance); len(bad) > 0 {
+			return fmt.Errorf("benchjson: %d benchmark(s) regressed beyond %.2fx:\n  %s",
+				len(bad), tolerance, strings.Join(bad, "\n  "))
+		}
+		fmt.Fprintf(stderr, "benchjson: no regression beyond %.2fx against %s\n", tolerance, checkPath)
+	}
+	return nil
+}
+
+func main() {
+	outPath := flag.String("out", "", "write parsed results as JSON to this path")
+	checkPath := flag.String("check", "", "baseline JSON to gate regressions against")
+	tolerance := flag.Float64("tolerance", 1.5, "fail when ns/op exceeds baseline × tolerance")
+	flag.Parse()
+	if *outPath == "" && *checkPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: need -out and/or -check")
+		os.Exit(2)
+	}
+	if err := run(os.Stdin, os.Stderr, *outPath, *checkPath, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

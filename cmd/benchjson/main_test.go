@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: distcolor
+cpu: some cpu
+BenchmarkSparseListColor/random-sparse/n1e4-8   	      20	  20400039 ns/op	   1.47 MB/s	11185036 B/op	   91158 allocs/op
+BenchmarkSparseListColor/random-sparse/n1e4-8   	      20	  21000000 ns/op	   1.44 MB/s	11185036 B/op	   91158 allocs/op
+BenchmarkRunSyncDelivery-8   	       5	 123456789 ns/op	 500.00 MB/s	 1000000 B/op	    2000 allocs/op
+BenchmarkNoMem   	     100	     50000 ns/op
+PASS
+ok  	distcolor	1.234s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// Duplicate lines keep the minimum ns/op; the -8 suffix is stripped.
+	r, ok := got["BenchmarkSparseListColor/random-sparse/n1e4"]
+	if !ok {
+		t.Fatalf("missing subtest benchmark: %v", got)
+	}
+	if r.NsPerOp != 20400039 || r.AllocsPerOp != 91158 {
+		t.Fatalf("got %+v, want ns=20400039 allocs=91158", r)
+	}
+	// A line without -benchmem fields records allocs as -1 (unknown).
+	if r := got["BenchmarkNoMem"]; r.NsPerOp != 50000 || r.AllocsPerOp != -1 {
+		t.Fatalf("no-mem line parsed as %+v", r)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("expected error on input with no benchmark lines")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	baseline := map[string]Result{
+		"A": {NsPerOp: 100},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100}, // retired: absent from results, never gated
+	}
+	results := map[string]Result{
+		"A": {NsPerOp: 149}, // within 1.5x
+		"B": {NsPerOp: 151}, // regressed
+		"D": {NsPerOp: 999}, // new: absent from baseline, never gated
+	}
+	bad := check(results, baseline, 1.5)
+	if len(bad) != 1 || !strings.HasPrefix(bad[0], "B:") {
+		t.Fatalf("check = %v, want exactly one regression on B", bad)
+	}
+	if bad := check(results, baseline, 2.0); len(bad) != 0 {
+		t.Fatalf("check at 2.0x = %v, want none", bad)
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_PR.json")
+	var stderr strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &stderr, out, "", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("round-tripped %d benchmarks, want 3", len(decoded))
+	}
+	// The file it wrote passes as its own baseline...
+	if err := run(strings.NewReader(sampleOutput), &stderr, "", out, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	// ...and fails against a baseline it beats by more than the tolerance.
+	tight, _ := json.Marshal(map[string]Result{"BenchmarkNoMem": {NsPerOp: 10}})
+	tightPath := filepath.Join(dir, "tight.json")
+	if err := os.WriteFile(tightPath, tight, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleOutput), &stderr, "", tightPath, 1.5); err == nil {
+		t.Fatal("expected regression failure against tight baseline")
+	}
+}

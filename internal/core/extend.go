@@ -69,16 +69,28 @@ func extend(ctx context.Context, nw *local.Network, ledger *local.Ledger, alive 
 	// --- Leaves-to-root greedy: for each depth from deepest to 1, for each
 	// class, color that independent set greedily from the lists. Every
 	// non-root keeps its parent uncolored, so a free color exists
-	// (Observation 5.1).
+	// (Observation 5.1). The tree is bucketized by (depth, class) up front —
+	// preserving its vertex order inside each bucket, so the greedy visits
+	// vertices in exactly the order the nested rescan did — instead of
+	// rescanning all of T once per (depth, class) pair.
+	buckets := make([][]int, (forest.MaxDepth+1)*(maxClass+1))
+	for _, v := range tree {
+		if d := forest.Depth[v]; d >= 1 {
+			slot := d*(maxClass+1) + classes[v]
+			buckets[slot] = append(buckets[slot], v)
+		}
+	}
+	pb := graph.AcquireBitset(0)
 	for depth := forest.MaxDepth; depth >= 1; depth-- {
 		for class := 0; class <= maxClass; class++ {
 			worked := false
-			for _, v := range tree {
-				if forest.Depth[v] != depth || classes[v] != class || colors[v] != Uncolored {
+			for _, v := range buckets[depth*(maxClass+1)+class] {
+				if colors[v] != Uncolored {
 					continue
 				}
-				c := pickFreeAlive(g, alive, colors, lists[v], v)
+				c := pickFreeAlive(g, alive, colors, lists[v], v, pb)
 				if c == Uncolored {
+					graph.ReleaseBitset(pb)
 					return st, fmt.Errorf("layered pass stuck at vertex %d (depth %d)", v, depth)
 				}
 				colors[v] = c
@@ -89,6 +101,7 @@ func extend(ctx context.Context, nw *local.Network, ledger *local.Ledger, alive 
 			}
 		}
 	}
+	graph.ReleaseBitset(pb)
 
 	// --- Root balls: uncolor each root's rich ball entirely and recolor it
 	// with the constructive Theorem 1.1. Balls of distinct roots are
@@ -110,9 +123,53 @@ func extend(ctx context.Context, nw *local.Network, ledger *local.Ledger, alive 
 	return st, nil
 }
 
+// colorScanCap mirrors seqcolor's bound on the palette-bitset width; lists
+// with colors beyond it (or negative) take the quadratic fallback.
+const colorScanCap = 1 << 20
+
+// listWidth returns max(list)+1 when every color fits the bitset fast path,
+// or -1 to request the fallback scan.
+func listWidth(list []int) int {
+	maxc := -1
+	for _, c := range list {
+		if c < 0 || c >= colorScanCap {
+			return -1
+		}
+		if c > maxc {
+			maxc = c
+		}
+	}
+	return maxc + 1
+}
+
 // pickFreeAlive returns the first color of list not used by v's colored
-// alive neighbors, or Uncolored.
-func pickFreeAlive(g *graph.Graph, alive []bool, colors []int, list []int, v int) int {
+// alive neighbors, or Uncolored. b is scratch (any width; reset here). As in
+// seqcolor.pickFree, neighbor colors are marked in one pass and the list is
+// scanned in its own order, keeping the first-fit tie-break exact.
+func pickFreeAlive(g *graph.Graph, alive []bool, colors []int, list []int, v int, b *graph.Bitset) int {
+	width := listWidth(list)
+	if width < 0 {
+		return pickFreeAliveSlow(g, alive, colors, list, v)
+	}
+	b.Reset(width)
+	for _, w32 := range g.Neighbors(v) {
+		w := int(w32)
+		if !alive[w] {
+			continue
+		}
+		if c := colors[w]; c >= 0 && c < width {
+			b.Set(c)
+		}
+	}
+	for _, c := range list {
+		if !b.Test(c) {
+			return c
+		}
+	}
+	return Uncolored
+}
+
+func pickFreeAliveSlow(g *graph.Graph, alive []bool, colors []int, list []int, v int) int {
 	for _, c := range list {
 		ok := true
 		for _, w32 := range g.Neighbors(v) {
@@ -141,27 +198,50 @@ func colorBallTheorem11(g *graph.Graph, alive []bool, colors []int, lists [][]in
 		return err
 	}
 	subLists := make([][]int, sub.N())
-	inBall := make(map[int]bool, len(ball))
+	inBall := graph.AcquireBitset(g.N())
 	for _, u := range ball {
-		inBall[u] = true
+		inBall.Set(u)
 	}
+	used := graph.AcquireBitset(0)
 	for i, u := range orig {
 		list := make([]int, 0, len(lists[u]))
-		for _, c := range lists[u] {
-			used := false
+		if width := listWidth(lists[u]); width >= 0 {
+			// Mark the colors of alive outside-ball neighbors once, then
+			// filter the list in its own order (exact first-fit semantics).
+			used.Reset(width)
 			for _, w32 := range g.Neighbors(u) {
 				w := int(w32)
-				if alive[w] && !inBall[w] && colors[w] == c {
-					used = true
-					break
+				if !alive[w] || inBall.Test(w) {
+					continue
+				}
+				if c := colors[w]; c >= 0 && c < width {
+					used.Set(c)
 				}
 			}
-			if !used {
-				list = append(list, c)
+			for _, c := range lists[u] {
+				if !used.Test(c) {
+					list = append(list, c)
+				}
+			}
+		} else {
+			for _, c := range lists[u] {
+				blocked := false
+				for _, w32 := range g.Neighbors(u) {
+					w := int(w32)
+					if alive[w] && !inBall.Test(w) && colors[w] == c {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					list = append(list, c)
+				}
 			}
 		}
 		subLists[i] = list
 	}
+	graph.ReleaseBitset(used)
+	graph.ReleaseBitset(inBall)
 	subColors := make([]int, sub.N())
 	for i := range subColors {
 		subColors[i] = Uncolored

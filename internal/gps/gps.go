@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 
+	"distcolor/internal/graph"
 	"distcolor/internal/local"
 	"distcolor/internal/reduce"
 )
@@ -51,21 +52,34 @@ func PeelColor(ctx context.Context, nw *local.Network, ledger *local.Ledger, pha
 	for v := 0; v < n; v++ {
 		deg[v] = g.Degree(v)
 	}
+	// aliveList holds the surviving vertices in ascending order; each layer
+	// partitions it stably into peeled and survivors, so a layer only scans
+	// the vertices still alive (not all n) and the peel order matches the
+	// full ascending scan exactly.
+	aliveList := make([]int, n)
+	for v := range aliveList {
+		aliveList[v] = v
+	}
+	var peel []int
 	layers := 0
-	for aliveCount > 0 {
+	for len(aliveList) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		layers++
-		var peel []int
-		for v := 0; v < n; v++ {
-			if alive[v] && deg[v] <= k {
+		peel = peel[:0]
+		survivors := aliveList[:0]
+		for _, v := range aliveList {
+			if deg[v] <= k {
 				peel = append(peel, v)
+			} else {
+				survivors = append(survivors, v)
 			}
 		}
 		if len(peel) == 0 {
 			return nil, fmt.Errorf("gps: peeling stalled with %d vertices alive (degeneracy > %d)", aliveCount, k)
 		}
+		aliveList = survivors
 		for _, v := range peel {
 			layerOf[v] = layers
 			alive[v] = false
@@ -83,52 +97,58 @@ func PeelColor(ctx context.Context, nw *local.Network, ledger *local.Ledger, pha
 		}
 	}
 
-	// Color layers from last to first.
+	// Color layers from last to first. Layer membership is bucketized once
+	// (ascending vertex order, as the per-layer full scans produced), and
+	// the per-vertex forbidden set {0..k} is a pooled bitset whose FirstZero
+	// is exactly the old "first unused index" scan.
 	colors := make([]int, n)
 	for v := range colors {
 		colors[v] = reduce.Uncolored
 	}
+	layerVerts := make([][]int, layers+1)
+	for v := 0; v < n; v++ {
+		layerVerts[layerOf[v]] = append(layerVerts[layerOf[v]], v)
+	}
+	mask := make([]bool, n)
+	used := graph.AcquireBitset(k + 1)
+	defer graph.ReleaseBitset(used)
 	for l := layers; l >= 1; l-- {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		mask := make([]bool, n)
-		for v := 0; v < n; v++ {
-			mask[v] = layerOf[v] == l
+		lv := layerVerts[l]
+		for _, v := range lv {
+			mask[v] = true
 		}
 		// Within-layer schedule: Linial classes on the layer-induced graph.
 		classes, palette := reduce.LinialColor(nw, ledger, phase+"/linial", mask)
+		buckets := make([][]int, palette)
+		for _, v := range lv {
+			buckets[classes[v]] = append(buckets[classes[v]], v)
+		}
 		for c := 0; c < palette; c++ {
-			recolored := false
-			for v := 0; v < n; v++ {
-				if !mask[v] || classes[v] != c {
-					continue
-				}
+			for _, v := range buckets[c] {
 				// v has ≤ k neighbors in its own or later layers, all the
 				// already-colored ones; pick a free color among {0..k}.
-				used := make([]bool, k+1)
+				used.Reset(k + 1)
 				for _, w32 := range g.Neighbors(v) {
 					w := int(w32)
 					if colors[w] >= 0 && colors[w] <= k {
-						used[colors[w]] = true
+						used.Set(colors[w])
 					}
 				}
-				picked := -1
-				for x := 0; x <= k; x++ {
-					if !used[x] {
-						picked = x
-						break
-					}
-				}
-				if picked < 0 {
+				picked := used.FirstZero()
+				if picked > k {
 					return nil, fmt.Errorf("gps: no free color at %d (layer %d)", v, l)
 				}
 				colors[v] = picked
-				recolored = true
 			}
-			if recolored && ledger != nil {
+			if len(buckets[c]) > 0 && ledger != nil {
 				ledger.Charge(phase+"/recolor", 1)
 			}
+		}
+		for _, v := range lv {
+			mask[v] = false
 		}
 	}
 	return &Result{Colors: colors, Layers: layers}, nil

@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // Block is a biconnected component: a maximal 2-connected subgraph, or a
 // bridge edge, or (degenerately) an isolated vertex is *not* a block — blocks
 // always contain at least one edge.
@@ -21,52 +23,92 @@ type BlockDecomposition struct {
 	BlocksOf [][]int
 }
 
-// Blocks computes the biconnected components of the masked graph (nil mask =
-// all vertices) with an iterative Hopcroft–Tarjan DFS (no recursion, safe for
-// path graphs of any length).
-func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
+type blockEdge struct{ u, v int }
+
+// blocksScratch is the pooled DFS workspace of Blocks. Only num needs
+// clearing per use (0 = unvisited); low/parent/iter are written at each
+// vertex's discovery, and seenIn uses the monotone blockStamp counter so
+// stale entries can never collide.
+type blocksScratch struct {
+	num, low, parent, iter []int
+	seenIn                 []int
+	estack                 []blockEdge
+	stack                  []int
+	blkEdges               [][2]int
+	blkVerts               []int
+	blockStamp             int
+}
+
+var blocksScratchPool sync.Pool
+
+func acquireBlocksScratch(n int) *blocksScratch {
+	s, _ := blocksScratchPool.Get().(*blocksScratch)
+	if s == nil {
+		s = &blocksScratch{}
+	}
+	if n > len(s.num) {
+		grow := n - len(s.num)
+		s.num = append(s.num, make([]int, grow)...)
+		s.low = append(s.low, make([]int, grow)...)
+		s.parent = append(s.parent, make([]int, grow)...)
+		s.iter = append(s.iter, make([]int, grow)...)
+		s.seenIn = append(s.seenIn, make([]int, grow)...)
+	}
+	clear(s.num[:n])
+	s.estack = s.estack[:0]
+	s.stack = s.stack[:0]
+	return s
+}
+
+// blocksDFS is the Hopcroft–Tarjan core shared by Blocks and
+// IsGallaiForest. For every emitted block it calls sink with transient
+// edge/vertex slices — valid only during the call, reused for the next
+// block — in deterministic first-seen order; sink returns false to abort
+// the walk early. markCut (may be nil) is called for articulation points,
+// possibly more than once per vertex.
+func (g *Graph) blocksDFS(mask []bool, sink func(edges [][2]int, verts []int) bool, markCut func(int)) {
 	n := g.N()
-	num := make([]int, n) // DFS discovery number, 0 = unvisited
-	low := make([]int, n) // low-link
-	parent := make([]int, n)
-	iter := make([]int, n) // per-vertex adjacency cursor
-	for i := range parent {
-		parent[i] = -1
-	}
-	dec := &BlockDecomposition{
-		IsCut:    make([]bool, n),
-		BlocksOf: make([][]int, n),
-	}
-	type edge struct{ u, v int }
-	var estack []edge
+	ws := acquireBlocksScratch(n)
+	defer blocksScratchPool.Put(ws)
+	num, low, parent, iter := ws.num, ws.low, ws.parent, ws.iter
+	estack := ws.estack
 	counter := 0
 
 	inMask := func(v int) bool { return mask == nil || mask[v] }
 
-	popBlock := func(u, v int) {
+	// seenIn[w] stamps the block w was last emitted into, so vertex dedup
+	// inside popBlock is a flat-array probe instead of a map.
+	seenIn := ws.seenIn
+	popBlock := func(u, v int) bool {
 		// Pop edges up to and including (u,v) and emit them as one block.
-		var blk Block
-		vset := make(map[int]bool)
+		ws.blkEdges = ws.blkEdges[:0]
+		ws.blkVerts = ws.blkVerts[:0]
+		ws.blockStamp++
+		stampv := ws.blockStamp
+		addVert := func(w int) {
+			if seenIn[w] != stampv {
+				seenIn[w] = stampv
+				ws.blkVerts = append(ws.blkVerts, w)
+			}
+		}
 		for len(estack) > 0 {
 			e := estack[len(estack)-1]
 			estack = estack[:len(estack)-1]
-			blk.Edges = append(blk.Edges, [2]int{e.u, e.v})
-			vset[e.u] = true
-			vset[e.v] = true
+			ws.blkEdges = append(ws.blkEdges, [2]int{e.u, e.v})
+			addVert(e.u)
+			addVert(e.v)
 			if e.u == u && e.v == v {
 				break
 			}
 		}
-		for w := range vset {
-			blk.Vertices = append(blk.Vertices, w)
-		}
-		idx := len(dec.Blocks)
-		dec.Blocks = append(dec.Blocks, blk)
-		for w := range vset {
-			dec.BlocksOf[w] = append(dec.BlocksOf[w], idx)
-		}
+		return sink(ws.blkEdges, ws.blkVerts)
 	}
 
+	stack := ws.stack
+	defer func() {
+		ws.estack = estack[:0]
+		ws.stack = stack[:0]
+	}()
 	for root := 0; root < n; root++ {
 		if num[root] != 0 || !inMask(root) {
 			continue
@@ -74,7 +116,9 @@ func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
 		counter++
 		num[root] = counter
 		low[root] = counter
-		stack := []int{root}
+		parent[root] = -1
+		iter[root] = 0
+		stack = append(stack[:0], root)
 		rootChildren := 0
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
@@ -87,11 +131,12 @@ func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
 					continue
 				}
 				if num[w] == 0 {
-					estack = append(estack, edge{v, w})
+					estack = append(estack, blockEdge{v, w})
 					parent[w] = v
 					counter++
 					num[w] = counter
 					low[w] = counter
+					iter[w] = 0
 					stack = append(stack, w)
 					if v == root {
 						rootChildren++
@@ -101,7 +146,7 @@ func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
 				}
 				if w != parent[v] && num[w] < num[v] {
 					// back edge
-					estack = append(estack, edge{v, w})
+					estack = append(estack, blockEdge{v, w})
 					if num[w] < low[v] {
 						low[v] = num[w]
 					}
@@ -119,18 +164,43 @@ func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
 				if low[v] >= num[p] {
 					// p separates v's subtree: one block ends here.
 					if p != root || rootChildren >= 1 {
-						popBlock(p, v)
+						if !popBlock(p, v) {
+							return
+						}
 					}
-					if p != root {
-						dec.IsCut[p] = true
+					if p != root && markCut != nil {
+						markCut(p)
 					}
 				}
 			}
 		}
-		if rootChildren >= 2 {
-			dec.IsCut[root] = true
+		if rootChildren >= 2 && markCut != nil {
+			markCut(root)
 		}
 	}
+}
+
+// Blocks computes the biconnected components of the masked graph (nil mask =
+// all vertices) with an iterative Hopcroft–Tarjan DFS (no recursion, safe for
+// path graphs of any length). The DFS workspace is pooled: the root-ball
+// recoloring path runs Blocks on thousands of tiny induced subgraphs.
+func (g *Graph) Blocks(mask []bool) *BlockDecomposition {
+	n := g.N()
+	dec := &BlockDecomposition{
+		IsCut:    make([]bool, n),
+		BlocksOf: make([][]int, n),
+	}
+	g.blocksDFS(mask, func(edges [][2]int, verts []int) bool {
+		idx := len(dec.Blocks)
+		dec.Blocks = append(dec.Blocks, Block{
+			Edges:    append([][2]int(nil), edges...),
+			Vertices: append([]int(nil), verts...),
+		})
+		for _, w := range verts {
+			dec.BlocksOf[w] = append(dec.BlocksOf[w], idx)
+		}
+		return true
+	}, func(v int) { dec.IsCut[v] = true })
 	return dec
 }
 
@@ -168,15 +238,25 @@ func BlockIsGood(b *Block) bool {
 
 // IsGallaiForest reports whether every connected component of the masked
 // graph is a Gallai tree: every block is a clique or an odd cycle. The empty
-// graph and edgeless graphs are Gallai forests.
+// graph and edgeless graphs are Gallai forests. It streams blocks out of the
+// DFS and aborts at the first bad one, allocating nothing — the happy-set
+// classification calls this once per candidate ball.
 func (g *Graph) IsGallaiForest(mask []bool) bool {
-	dec := g.Blocks(mask)
-	for i := range dec.Blocks {
-		if !BlockIsGood(&dec.Blocks[i]) {
-			return false
+	good := true
+	g.blocksDFS(mask, func(edges [][2]int, verts []int) bool {
+		k := len(verts)
+		if len(edges) == k*(k-1)/2 {
+			return true // clique (includes bridges, k=2)
 		}
-	}
-	return true
+		// A block with ≥3 vertices is 2-connected, so minimum degree ≥ 2;
+		// |E| = |V| then forces 2-regularity, i.e. a cycle.
+		if k >= 3 && k%2 == 1 && len(edges) == k {
+			return true // odd cycle
+		}
+		good = false
+		return false
+	}, nil)
+	return good
 }
 
 // FirstBadBlock returns the index of some block that is neither a clique nor

@@ -14,6 +14,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -96,7 +97,7 @@ func NewFromPairs(n int, pairs [][2]int) (*Graph, error) {
 		if len(adj) > maxDeg {
 			maxDeg = len(adj)
 		}
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		slices.Sort(adj)
 		for i := 1; i < len(adj); i++ {
 			if adj[i] == adj[i-1] {
 				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, adj[i])
@@ -202,7 +203,7 @@ func (b *Builder) Graph() *Graph {
 	offsets[b.n] = int32(total)
 	neighbors := make([]int32, total)
 	for v, nbrs := range b.adj {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		slices.Sort(nbrs)
 		copy(neighbors[offsets[v]:offsets[v+1]], nbrs)
 		b.adj[v] = nil // release the per-vertex slice eagerly
 	}
@@ -368,33 +369,93 @@ func (g *Graph) DegreesInMask(mask []bool, out []int) []int {
 	return out
 }
 
+// indexMap is a pooled vertex→dense-index map backed by epoch-stamped flat
+// arrays, replacing the per-call Go map in Induced: clearing is O(1) and
+// lookups are an array probe. Same stamping discipline as Traversal/Bitset.
+type indexMap struct {
+	idx   []int32
+	stamp []uint32
+	epoch uint32
+}
+
+var indexMapPool sync.Pool
+
+func acquireIndexMap(n int) *indexMap {
+	m, _ := indexMapPool.Get().(*indexMap)
+	if m == nil {
+		m = &indexMap{}
+	}
+	if m.epoch == ^uint32(0) { // epoch wrap: clear stamps once every 2³² uses
+		clear(m.stamp)
+		m.epoch = 0
+	}
+	m.epoch++
+	if n > len(m.idx) {
+		m.idx = append(m.idx, make([]int32, n-len(m.idx))...)
+		m.stamp = append(m.stamp, make([]uint32, n-len(m.stamp))...)
+	}
+	return m
+}
+
+func (m *indexMap) set(v, i int) { m.idx[v] = int32(i); m.stamp[v] = m.epoch }
+
+func (m *indexMap) get(v int) (int, bool) {
+	if m.stamp[v] != m.epoch {
+		return 0, false
+	}
+	return int(m.idx[v]), true
+}
+
 // Induced returns the subgraph induced by verts, plus the mapping from new
 // vertex ids (0..len(verts)-1) back to the original ids. Vertices listed more
 // than once are an error.
 func (g *Graph) Induced(verts []int) (*Graph, []int, error) {
-	idx := make(map[int]int, len(verts))
+	im := acquireIndexMap(g.N())
+	defer indexMapPool.Put(im)
 	orig := make([]int, len(verts))
 	for i, v := range verts {
 		if v < 0 || v >= g.N() {
 			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range", v)
 		}
-		if _, dup := idx[v]; dup {
+		if _, dup := im.get(v); dup {
 			return nil, nil, fmt.Errorf("graph: induced vertex %d listed twice", v)
 		}
-		idx[v] = i
+		im.set(v, i)
 		orig[i] = v
 	}
-	b := NewBuilder(len(verts))
+	// Build the CSR directly (two passes over the set's adjacency) instead
+	// of going through Builder: no per-vertex adjacency slices, so carving
+	// thousands of small balls costs two allocations each, not O(|ball|).
+	k := len(verts)
+	offsets := make([]int32, k+1)
 	for i, v := range verts {
+		d := int32(0)
 		for _, w := range g.Neighbors(v) {
-			if j, ok := idx[int(w)]; ok && j > i {
-				if err := b.AddEdge(i, j); err != nil {
-					return nil, nil, err
-				}
+			if _, ok := im.get(int(w)); ok {
+				d++
 			}
 		}
+		offsets[i+1] = offsets[i] + d
 	}
-	return b.Graph(), orig, nil
+	neighbors := make([]int32, offsets[k])
+	maxDeg, m := 0, 0
+	for i, v := range verts {
+		row := neighbors[offsets[i]:offsets[i]]
+		for _, w := range g.Neighbors(v) {
+			if j, ok := im.get(int(w)); ok {
+				row = append(row, int32(j))
+			}
+		}
+		if len(row) > maxDeg {
+			maxDeg = len(row)
+		}
+		m += len(row)
+		// g's rows are ascending in original ids, but the dense relabeling
+		// need not be monotone; restore the sorted-adjacency invariant
+		// (HasEdge binary-searches rows).
+		slices.Sort(row)
+	}
+	return newCSR(offsets, neighbors, m/2, maxDeg), orig, nil
 }
 
 // InducedMask is Induced over the vertices v with mask[v] == true.

@@ -55,6 +55,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if err != nil || len(bytes.TrimSpace(rest)) != 0 {
 				return nil, fmt.Errorf("graph: line %d: vertex count expected, got %q", line, text)
 			}
+			if n > math.MaxInt32 {
+				// Adjacency ids are int32; a larger declared count can never
+				// be a valid graph and would allocate the builder spine for a
+				// count no edge line could reference.
+				return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds int32 range", line, n)
+			}
 			b = NewBuilder(n)
 			continue
 		}

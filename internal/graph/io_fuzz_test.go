@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// declaredCount extracts the vertex count the input's first non-comment line
+// declares, mirroring ReadEdgeList's header scan. The fuzz target uses it to
+// skip inputs that would legitimately allocate a huge builder spine: the
+// format preallocates adjacency for the declared count, so a tiny input
+// claiming 10^9 vertices is a memory bomb by design, not a parser bug worth
+// exploring.
+func declaredCount(data []byte) (int, bool) {
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		text := bytes.TrimSpace(line)
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		n, _, err := parseInt(text)
+		if err != nil {
+			return 0, false
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// FuzzReadEdgeList throws arbitrary bytes at the edge-list parser and holds
+// every accepted input to the format's invariants: the parse must never
+// panic, and a successfully parsed graph must survive a WriteTo/ReadEdgeList
+// round trip bit-identically (WriteTo emits the canonical form, so parsing
+// it back must reproduce N, M, and the sorted edge set exactly).
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"3\n0 1\n1 2\n",          // plain valid list
+		"# comment\n\n4\n0 3\n",  // comments and blank lines
+		"3\r\n0 1\r\n",           // CRLF line endings
+		"5\n0 1\n0",              // truncated edge line
+		"5\n0 1\n0 1\n",          // duplicate edge
+		"5\n2 2\n",               // self-loop
+		"2\n0 99\n",              // endpoint out of range
+		"99999999999999999999\n", // vertex count overflows int
+		"4294967296\n",           // vertex count beyond int32
+		"3\n0 1 extra\n",         // trailing garbage on an edge line
+		"not a number\n",         // malformed header
+		"",                       // empty input
+		"0\n",                    // zero vertices, no edges
+		"6\n0 1\n# mid comment\n\n2 3\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		if n, ok := declaredCount(data); ok && n > 1<<16 {
+			t.Skip("declared vertex count too large to allocate")
+		}
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo failed on parsed graph: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing canonical form failed: %v\ninput: %q\ncanonical: %q", err, data, buf.Bytes())
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+		e1, e2 := g.Edges(), g2.Edges()
+		if len(e1) != len(e2) {
+			t.Fatalf("round trip changed edge count: %d -> %d", len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("round trip changed edge %d: %v -> %v", i, e1[i], e2[i])
+			}
+		}
+	})
+}

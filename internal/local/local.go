@@ -214,6 +214,24 @@ type Program interface {
 // periphery).
 const workerChunk = 64
 
+// BatchThreshold is the active-list size at or below which the engine fuses
+// every remaining round into inline serial execution on the coordinator: once
+// the live active list fits in a single worker chunk there is nothing left to
+// parallelize, and a pool dispatch (two phase barriers, workers woken twice)
+// costs more than the round it runs. The active list only ever shrinks —
+// halted nodes never return — so the engine switches once and never wakes the
+// pool again for the rest of the execution. This matters on the long bounded
+// tails the registry's RoundBound metadata describes (e.g. the Δ²-palette
+// color reductions charge one round per color class while only that class is
+// active): outputs, ledger charges and message counts are bit-identical
+// either way, which the engine tests enforce by holding fused executions
+// against BatchThreshold=0 runs.
+//
+// 0 disables fusion (every multi-worker round runs on the pool). The engine
+// snapshots the value at creation; tests that change it must restore it and
+// must not race a running engine.
+var BatchThreshold = workerChunk
+
 // staged is one routed message sitting in a staging bucket between the step
 // and delivery phases: the receiver vertex and its receiver-side port,
 // resolved at send time via the graph's CSR mirror array (graph.Mirror).
@@ -247,6 +265,11 @@ type staged struct {
 //
 // Output collection at the end of the run is a third pool phase, chunked
 // over all vertices.
+//
+// Rounds stop using the pool entirely once the active list shrinks to at
+// most batchLimit nodes: the engine fuses every remaining round into inline
+// serial execution on the coordinator (see BatchThreshold and
+// runRoundSerial), bit-identical to the pooled rounds by construction.
 type engine struct {
 	nw      *Network
 	offsets []int32
@@ -261,6 +284,24 @@ type engine struct {
 
 	workers int
 	round   int
+
+	// Round batching (see BatchThreshold). Once serial is set, rounds run
+	// inline on the coordinator with no pool dispatch; the flag never clears
+	// because the active list never grows. Small serial rounds (active ≤
+	// batchLimit) additionally keep their cost O(active+messages) instead of
+	// O(n) with two-generation dirty-receiver lists: dirtyCur names the
+	// non-empty buffers of the inboxes generation, dirtyNext those of
+	// nextInboxes, and both swap with their buffers. dirtyKnown marks the
+	// invariant "nextInboxes is fully empty, dirty lists accurate" as
+	// established (a one-time O(n) step); big serial rounds — a single-worker
+	// engine early in a run — skip the tracking entirely, since at thousands
+	// of messages per round a blanket clear is cheaper than a per-message
+	// dirty check.
+	serial     bool
+	dirtyKnown bool
+	batchLimit int
+	dirtyCur   []int32
+	dirtyNext  []int32
 
 	// buckets[c*workers+s] stages the messages of chunk c addressed to
 	// shard s. Sized for the round-1 chunk count (the active list only
@@ -289,9 +330,15 @@ type engine struct {
 func newEngine(nw *Network) *engine {
 	g := nw.G
 	n := g.N()
+	batchLimit := BatchThreshold
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
+	}
+	if n <= batchLimit {
+		// The whole execution is below the fusion threshold: every round will
+		// run serially, so don't spin up pool goroutines at all.
+		workers = 1
 	}
 	if workers < 1 {
 		workers = 1
@@ -308,6 +355,7 @@ func newEngine(nw *Network) *engine {
 		active:      make([]int32, n),
 		halts:       make([]bool, n),
 		workers:     workers,
+		batchLimit:  batchLimit,
 		shardMsgs:   make([]int, workers),
 		segBounds:   make([]int, workers+1),
 		segLen:      make([]int, workers),
@@ -321,6 +369,9 @@ func newEngine(nw *Network) *engine {
 	e.numChunks = (n + workerChunk - 1) / workerChunk
 	if workers == 1 {
 		// Serial fast path (see runRoundSerial): no pool, no staging.
+		// Dirty-receiver tracking starts lazily once the active list shrinks
+		// below batchLimit; until then rounds use the blanket clear.
+		e.serial = true
 		return e
 	}
 	e.buckets = make([][]staged, e.numChunks*workers)
@@ -399,9 +450,13 @@ func (e *engine) runPhase(f func(worker int)) {
 
 // runRound executes one synchronous round: step phase, then the combined
 // delivery+compaction phase, then the inbox generation swap and active-list
-// concatenation on the coordinator.
+// concatenation on the coordinator. Rounds whose active list has shrunk to at
+// most batchLimit nodes fuse into the serial path instead — permanently,
+// since the active list never grows — so a long low-traffic tail costs zero
+// pool wake-ups (see BatchThreshold).
 func (e *engine) runRound() {
-	if e.workers == 1 {
+	if e.serial || len(e.active) <= e.batchLimit {
+		e.enterSerial()
 		e.runRoundSerial()
 		return
 	}
@@ -472,24 +527,80 @@ func (e *engine) stage(base, v int, out []Outbound) {
 	}
 }
 
-// runRoundSerial is the single-worker fast path: with one worker the chunk
-// claiming order is exactly the delivery order, so every message goes
-// straight into the receive buffers with no staging hop and no pool
-// dispatch. It produces byte-for-byte the inbox order the sharded path
-// reproduces (the cross-GOMAXPROCS tests hold the two paths against each
+// enterSerial switches a pooled engine into fused serial execution. The
+// parked pool workers are never dispatched again and are torn down by close
+// as usual. Buffer hygiene is runRoundSerial's job: its transition into
+// dirty tracking re-establishes the round invariant regardless of what state
+// the pooled rounds left the write generation in.
+func (e *engine) enterSerial() {
+	if e.serial {
+		return
+	}
+	e.serial = true
+	// Per-shard counters from the last pooled round are stale; the serial
+	// path only ever writes slot 0.
+	clear(e.shardMsgs)
+}
+
+// runRoundSerial runs one round inline on the coordinator: no staging hop,
+// no pool dispatch. Stepping the active list in ascending order makes the
+// direct delivery order byte-for-byte the order the sharded path reproduces
+// (the cross-GOMAXPROCS and batching tests hold the two paths against each
 // other).
+//
+// Receive-buffer hygiene comes in two regimes. Big serial rounds — a
+// single-worker engine whose active list still spans the graph — blanket-
+// clear the write generation up front: at thousands of messages a round,
+// one sequential O(n) sweep is cheaper than a per-message dirty check. Once
+// the active list fits under batchLimit the round flips permanently to
+// two-generation dirty-receiver tracking (the active list never grows), and
+// from then on each fused round touches only dirty buffers, costing
+// O(active + messages) instead of O(n).
 func (e *engine) runRoundSerial() {
-	for v := range e.nextInboxes {
-		e.nextInboxes[v] = e.nextInboxes[v][:0]
+	track := e.dirtyKnown
+	if !track && e.batchLimit > 0 && len(e.active) <= e.batchLimit {
+		// One-time transition into the fused low-traffic tail: establish the
+		// invariant "nextInboxes fully empty, dirtyNext empty, dirtyCur names
+		// exactly the non-empty inboxes buffers". This is the tail's single
+		// O(n) step.
+		for v := range e.nextInboxes {
+			e.nextInboxes[v] = e.nextInboxes[v][:0]
+		}
+		e.dirtyNext = e.dirtyNext[:0]
+		e.dirtyCur = e.dirtyCur[:0]
+		for v := range e.inboxes {
+			if len(e.inboxes[v]) > 0 {
+				e.dirtyCur = append(e.dirtyCur, int32(v))
+			}
+		}
+		e.dirtyKnown = true
+		track = true
+	} else if !track {
+		// High-traffic serial round: last round's consumed receive buffers
+		// become this round's write generation via a wholesale clear.
+		for v := range e.nextInboxes {
+			e.nextInboxes[v] = e.nextInboxes[v][:0]
+		}
 	}
 	count := 0
 	for _, v32 := range e.active {
 		v := int(v32)
 		out, halt := e.progs[v].Step(e.round, e.inboxes[v])
 		e.halts[v] = halt
-		count += e.deliverDirect(v, out)
+		count += e.deliverDirect(v, out, track)
 	}
 	e.shardMsgs[0] = count
+	if track {
+		// Drain the read generation (its messages are consumed) so it
+		// re-enters service as an all-empty write generation, then swap
+		// buffers and dirty lists together — re-establishing the invariant
+		// for the next round.
+		for _, v := range e.dirtyCur {
+			e.inboxes[v] = e.inboxes[v][:0]
+		}
+		e.dirtyCur = e.dirtyCur[:0]
+		e.dirtyCur, e.dirtyNext = e.dirtyNext, e.dirtyCur
+	}
 	e.inboxes, e.nextInboxes = e.nextInboxes, e.inboxes
 	kept := e.active[:0]
 	for _, v := range e.active {
@@ -502,8 +613,11 @@ func (e *engine) runRoundSerial() {
 
 // deliverDirect routes one node's outbox straight into the receive buffers
 // (serial path only), returning the number of messages delivered. Port
-// semantics match stage exactly.
-func (e *engine) deliverDirect(v int, out []Outbound) int {
+// semantics match stage exactly. With track set, each receiver joins the
+// round's dirty list on its first message — what lets the fused tail clear
+// only touched buffers; big serial rounds pass track=false and rely on the
+// blanket clear instead.
+func (e *engine) deliverDirect(v int, out []Outbound, track bool) int {
 	lo, hi := e.offsets[v], e.offsets[v+1]
 	deg := int(hi - lo)
 	count := 0
@@ -511,6 +625,9 @@ func (e *engine) deliverDirect(v int, out []Outbound) int {
 		if o.Port == Broadcast {
 			for i := lo; i < hi; i++ {
 				w := e.nbrs[i]
+				if track && len(e.nextInboxes[w]) == 0 {
+					e.dirtyNext = append(e.dirtyNext, w)
+				}
 				e.nextInboxes[w] = append(e.nextInboxes[w], Inbound{Port: int(e.mirror[i]), Msg: o.Msg})
 			}
 			count += deg
@@ -521,6 +638,9 @@ func (e *engine) deliverDirect(v int, out []Outbound) int {
 		}
 		i := lo + int32(o.Port)
 		w := e.nbrs[i]
+		if track && len(e.nextInboxes[w]) == 0 {
+			e.dirtyNext = append(e.dirtyNext, w)
+		}
 		e.nextInboxes[w] = append(e.nextInboxes[w], Inbound{Port: int(e.mirror[i]), Msg: o.Msg})
 		count++
 	}
@@ -642,6 +762,14 @@ func (e *engine) outputs() []any {
 // sent in step k are received at the end of round k and consumed by step
 // k+1, so an execution of S steps corresponds to S-1 communication rounds
 // (the final step is the output phase).
+//
+// maxRounds — in practice the algorithm's declared RoundBound(n, maxDeg)
+// from the registry — caps the execution, and together with the live
+// active-list size drives round batching: bounded long-tail executions
+// (one color class active per round for Δ²-scale rounds, say) spend almost
+// all their rounds below the BatchThreshold fusion cutoff, where the engine
+// runs them inline with no per-round pool wake-ups at all. Fusion never
+// changes outputs, charges, or message counts, only scheduling.
 //
 // Cancellation is cooperative and per-round: ctx is checked at the top of
 // every round, so a cancelled execution stops within one round, returns

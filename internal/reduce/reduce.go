@@ -125,23 +125,37 @@ func LinialColor(nw *local.Network, ledger *local.Ledger, phase string, mask []b
 		if q*q >= k {
 			return colors, k
 		}
+		// Precompute every masked vertex's polynomial coefficients (its
+		// base-q digits) once per iteration into one flat array, so the
+		// O(deg·q) candidate loop below does no per-neighbor allocation.
+		digits := make([]int, n*t)
+		for v := 0; v < n; v++ {
+			if mask != nil && !mask[v] {
+				continue
+			}
+			c := colors[v]
+			for i := 0; i < t; i++ {
+				digits[v*t+i] = c % q
+				c /= q
+			}
+		}
 		next := make([]int, n)
 		copy(next, colors)
 		for v := 0; v < n; v++ {
 			if mask != nil && !mask[v] {
 				continue
 			}
-			pv := digitsBaseQ(colors[v], q, t)
+			pv := digits[v*t : (v+1)*t]
 			x := -1
 			for cand := 0; cand < q; cand++ {
+				ev := evalPoly(pv, cand, q)
 				ok := true
 				for _, w32 := range g.Neighbors(v) {
 					w := int(w32)
 					if mask != nil && !mask[w] {
 						continue
 					}
-					pw := digitsBaseQ(colors[w], q, t)
-					if colors[w] != colors[v] && evalPoly(pw, cand, q) == evalPoly(pv, cand, q) {
+					if colors[w] != colors[v] && evalPoly(digits[w*t:(w+1)*t], cand, q) == ev {
 						ok = false
 						break
 					}
@@ -195,27 +209,33 @@ func ReduceToMaxDegPlusOne(nw *local.Network, ledger *local.Ledger, phase string
 	}
 	out := make([]int, n)
 	copy(out, colors)
+	// Bucketize the classes that will recolor: a vertex only changes color
+	// when its own class is processed (to a color ≤ d < d+1), so bucketing
+	// by the incoming colors visits exactly the vertices the per-class full
+	// scans did, in the same ascending order.
+	var buckets [][]int
+	if k-1 >= d+1 {
+		buckets = make([][]int, k)
+		for v := 0; v < n; v++ {
+			if em[v] && out[v] >= d+1 && out[v] < k {
+				buckets[out[v]] = append(buckets[out[v]], v)
+			}
+		}
+	}
+	used := graph.AcquireBitset(d + 1)
+	defer graph.ReleaseBitset(used)
 	rounds := 0
 	for c := k - 1; c >= d+1; c-- {
-		for v := 0; v < n; v++ {
-			if !em[v] || out[v] != c {
-				continue
-			}
-			used := make([]bool, d+1)
+		for _, v := range buckets[c] {
+			used.Reset(d + 1)
 			for _, w32 := range g.Neighbors(v) {
 				w := int(w32)
 				if em[w] && out[w] >= 0 && out[w] <= d {
-					used[out[w]] = true
+					used.Set(out[w])
 				}
 			}
-			picked := -1
-			for x := 0; x <= d; x++ {
-				if !used[x] {
-					picked = x
-					break
-				}
-			}
-			if picked < 0 {
+			picked := used.FirstZero()
+			if picked > d {
 				panic("reduce: no free color ≤ Δ (internal bug)")
 			}
 			out[v] = picked

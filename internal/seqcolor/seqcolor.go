@@ -130,9 +130,58 @@ func UniformLists(n, k int) [][]int {
 	return lists
 }
 
+// colorScanCap bounds the bitset width the palette scans will use; lists
+// with colors beyond it (or negative) take the quadratic fallback so exotic
+// caller-supplied palettes cannot force a huge allocation.
+const colorScanCap = 1 << 20
+
+// listWidth returns max(list)+1 when every color fits the bitset fast path,
+// or -1 to request the fallback scan.
+func listWidth(list []int) int {
+	maxc := -1
+	for _, c := range list {
+		if c < 0 || c >= colorScanCap {
+			return -1
+		}
+		if c > maxc {
+			maxc = c
+		}
+	}
+	return maxc + 1
+}
+
+// markUsed records in b (already Reset to width) the colors of v's
+// neighbors that fall in [0, width). Colors outside that range cannot occur
+// in the list being scanned, so dropping them is exact.
+func markUsed(g *graph.Graph, colors []int, v, width int, b *graph.Bitset) {
+	for _, w := range g.Neighbors(v) {
+		if c := colors[int(w)]; c >= 0 && c < width {
+			b.Set(c)
+		}
+	}
+}
+
 // pickFree returns the first color of list unused by v's colored neighbors,
-// or Uncolored if none is free.
-func pickFree(g *graph.Graph, colors []int, list []int, v int) int {
+// or Uncolored if none is free. b is scratch (any width; reset here). The
+// list-order tie-break is the load-bearing invariant: neighbor colors are
+// marked in one pass and the list is then scanned in its own order, so the
+// result is identical to the naive per-color neighbor scan.
+func pickFree(g *graph.Graph, colors []int, list []int, v int, b *graph.Bitset) int {
+	width := listWidth(list)
+	if width < 0 {
+		return pickFreeSlow(g, colors, list, v)
+	}
+	b.Reset(width)
+	markUsed(g, colors, v, width, b)
+	for _, c := range list {
+		if !b.Test(c) {
+			return c
+		}
+	}
+	return Uncolored
+}
+
+func pickFreeSlow(g *graph.Graph, colors []int, list []int, v int) int {
 	for _, c := range list {
 		ok := true
 		for _, w := range g.Neighbors(v) {
@@ -152,11 +201,13 @@ func pickFree(g *graph.Graph, colors []int, list []int, v int) int {
 // lists, skipping already-colored vertices; it fails if some vertex has no
 // free color.
 func GreedyInOrder(g *graph.Graph, colors []int, lists [][]int, order []int) error {
+	b := graph.AcquireBitset(0)
+	defer graph.ReleaseBitset(b)
 	for _, v := range order {
 		if colors[v] != Uncolored {
 			continue
 		}
-		c := pickFree(g, colors, lists[v], v)
+		c := pickFree(g, colors, lists[v], v, b)
 		if c == Uncolored {
 			return fmt.Errorf("seqcolor: greedy stuck at vertex %d", v)
 		}
@@ -203,16 +254,54 @@ func DegreeListColor(g *graph.Graph, colors []int, lists [][]int) error {
 			uncMask[v] = true
 		}
 	}
+	// One mask for all components, cleared between uses, so a graph with
+	// many small components (forests, peeled balls) does not pay O(n) per
+	// component.
+	compMask := make([]bool, n)
 	for _, comp := range g.Components(uncMask) {
-		if err := degreeListColorComponent(g, colors, lists, comp); err != nil {
+		for _, v := range comp {
+			compMask[v] = true
+		}
+		err := degreeListColorComponent(g, colors, lists, comp, compMask)
+		for _, v := range comp {
+			compMask[v] = false
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// effectiveListSize returns |L(v) minus colors of colored neighbors|.
-func effectiveListSize(g *graph.Graph, colors []int, list []int, v int) int {
+// effectiveStats returns (|effective list|, uncolored degree) of v with one
+// neighbor pass: the Theorem 1.1 hypothesis check for a component vertex.
+// b is scratch.
+func effectiveStats(g *graph.Graph, colors []int, list []int, v int, b *graph.Bitset) (listSize, uncDeg int) {
+	width := listWidth(list)
+	if width < 0 {
+		return effectiveListSizeSlow(g, colors, list, v), uncoloredDegree(g, colors, v)
+	}
+	b.Reset(width)
+	for _, w := range g.Neighbors(v) {
+		c := colors[int(w)]
+		if c == Uncolored {
+			uncDeg++
+		} else if c >= 0 && c < width {
+			b.Set(c)
+		}
+	}
+	// Scan the list rather than subtracting b.Count(): neighbors may use
+	// colors below the width that are not in the list, and the list may
+	// repeat colors.
+	for _, c := range list {
+		if !b.Test(c) {
+			listSize++
+		}
+	}
+	return listSize, uncDeg
+}
+
+func effectiveListSizeSlow(g *graph.Graph, colors []int, list []int, v int) int {
 	k := 0
 	for _, c := range list {
 		used := false
@@ -230,6 +319,23 @@ func effectiveListSize(g *graph.Graph, colors []int, list []int, v int) int {
 }
 
 func effectiveList(g *graph.Graph, colors []int, list []int, v int) []int {
+	width := listWidth(list)
+	if width < 0 {
+		return effectiveListSlow(g, colors, list, v)
+	}
+	b := graph.AcquireBitset(width)
+	markUsed(g, colors, v, width, b)
+	out := make([]int, 0, len(list))
+	for _, c := range list {
+		if !b.Test(c) {
+			out = append(out, c)
+		}
+	}
+	graph.ReleaseBitset(b)
+	return out
+}
+
+func effectiveListSlow(g *graph.Graph, colors []int, list []int, v int) []int {
 	out := make([]int, 0, len(list))
 	for _, c := range list {
 		used := false
@@ -256,22 +362,23 @@ func uncoloredDegree(g *graph.Graph, colors []int, v int) int {
 	return d
 }
 
-func degreeListColorComponent(g *graph.Graph, colors []int, lists [][]int, comp []int) error {
+// degreeListColorComponent colors one uncolored component. compMask must be
+// true exactly on comp's vertices; the caller owns (and clears) it.
+func degreeListColorComponent(g *graph.Graph, colors []int, lists [][]int, comp []int, compMask []bool) error {
 	// Pass 1: validate the hypothesis, and find a surplus vertex if any.
-	compMask := make([]bool, g.N())
-	for _, v := range comp {
-		compMask[v] = true
-	}
+	scratch := graph.AcquireBitset(0)
 	surplus := -1
 	for _, v := range comp {
-		es, ud := effectiveListSize(g, colors, lists[v], v), uncoloredDegree(g, colors, v)
+		es, ud := effectiveStats(g, colors, lists[v], v, scratch)
 		if es < ud {
+			graph.ReleaseBitset(scratch)
 			return fmt.Errorf("%w (vertex %d: list %d < uncolored degree %d)", ErrListTooSmall, v, es, ud)
 		}
 		if es > ud && surplus == -1 {
 			surplus = v
 		}
 	}
+	graph.ReleaseBitset(scratch)
 	if surplus != -1 {
 		order := reverseBFSOrder(g, surplus, compMask)
 		if err := GreedyInOrder(g, colors, lists, order); err != nil {
@@ -290,14 +397,12 @@ func degreeListColorComponent(g *graph.Graph, colors []int, lists [][]int, comp 
 	// leading toward the root, farthest-from-that-cut-vertex first.
 	bt := graph.NewBlockTree(dec)
 	order, toward := bt.PeelOrder(bad)
+	pb := graph.AcquireBitset(0)
+	defer graph.ReleaseBitset(pb)
 	for i := len(order) - 1; i >= 1; i-- {
 		blk := &dec.Blocks[order[i]]
 		cut := toward[i]
-		bmask := make([]bool, g.N())
-		for _, v := range blk.Vertices {
-			bmask[v] = colors[v] == Uncolored
-		}
-		if !bmask[cut] {
+		if colors[cut] != Uncolored {
 			return fmt.Errorf("seqcolor: internal: cut vertex %d colored early", cut)
 		}
 		vs := reverseBFSOrderInBlock(blk, cut)
@@ -305,7 +410,7 @@ func degreeListColorComponent(g *graph.Graph, colors []int, lists [][]int, comp 
 			if v == cut || colors[v] != Uncolored {
 				continue
 			}
-			c := pickFree(g, colors, lists[v], v)
+			c := pickFree(g, colors, lists[v], v, pb)
 			if c == Uncolored {
 				return fmt.Errorf("seqcolor: internal: block peel stuck at %d", v)
 			}
@@ -345,8 +450,16 @@ func gallaiTightFallback(g *graph.Graph, colors []int, lists [][]int, comp []int
 			for _, v := range comp {
 				sub[v] = colors[v] == Uncolored
 			}
+			subMask := make([]bool, g.N())
 			for _, c2 := range g.Components(sub) {
-				if err := degreeListColorComponent(g, colors, lists, c2); err != nil {
+				for _, v := range c2 {
+					subMask[v] = true
+				}
+				err := degreeListColorComponent(g, colors, lists, c2, subMask)
+				for _, v := range c2 {
+					subMask[v] = false
+				}
+				if err != nil {
 					return &GallaiTightError{Component: append([]int(nil), comp...)}
 				}
 			}

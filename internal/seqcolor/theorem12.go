@@ -72,20 +72,30 @@ func SparseListColor(g *graph.Graph, d int, lists [][]int) ([]int, error) {
 	}
 	// Remaining components are d-regular (mad ≤ d forces it). A component
 	// equal to K_{d+1} is the excluded clique; otherwise Theorem 1.1 applies.
+	compMask := make([]bool, n)
 	for _, comp := range g.Components(alive) {
 		if len(comp) == d+1 && g.IsClique(comp) {
 			return nil, &CliqueError{Clique: comp}
 		}
-		if err := degreeListColorComponent(g, colors, lists, comp); err != nil {
+		for _, v := range comp {
+			compMask[v] = true
+		}
+		err := degreeListColorComponent(g, colors, lists, comp, compMask)
+		for _, v := range comp {
+			compMask[v] = false
+		}
+		if err != nil {
 			return nil, fmt.Errorf("seqcolor: d-regular core: %w", err)
 		}
 	}
 	// Unwind the peel: each popped vertex had ≤ d−1 neighbors at removal,
 	// all of which are the only ones colored after it, so a list of size d
 	// always has a free color.
+	b := graph.AcquireBitset(0)
+	defer graph.ReleaseBitset(b)
 	for i := len(stack) - 1; i >= 0; i-- {
 		v := stack[i]
-		c := pickFree(g, colors, lists[v], v)
+		c := pickFree(g, colors, lists[v], v, b)
 		if c == Uncolored {
 			return nil, fmt.Errorf("seqcolor: internal: peel unwind stuck at %d", v)
 		}

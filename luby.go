@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand/v2"
 
+	"distcolor/internal/graph"
 	"distcolor/internal/local"
 )
 
@@ -23,10 +24,17 @@ import (
 // exists, and every uncolored node finalizes with constant probability per
 // round, so the run completes in O(log n) rounds with high probability.
 type lubyProgram struct {
-	palette []int // colors not yet taken by finalized neighbors
-	rng     *rand.Rand
-	color   int
-	cand    int
+	// palette holds the colors of {0..Δ} not yet taken by finalized
+	// neighbors. The slice version kept its colors in ascending order and
+	// drew palette[rng.IntN(len)], i.e. the k-th remaining color in
+	// ascending order — which is exactly Bitset.SelectSet(k), so the bitset
+	// reproduces the draw sequence bit for bit while removal becomes one
+	// word op instead of a slice scan+copy.
+	palette   *graph.Bitset
+	remaining int
+	rng       *rand.Rand
+	color     int
+	cand      int
 }
 
 type lubyMsg struct {
@@ -44,11 +52,9 @@ func (p *lubyProgram) Step(round int, inbox []local.Inbound) ([]local.Outbound, 
 	for _, in := range inbox {
 		m := in.Msg.(lubyMsg)
 		if m.final {
-			for i, c := range p.palette {
-				if c == m.candidate {
-					p.palette = append(p.palette[:i], p.palette[i+1:]...)
-					break
-				}
+			if m.candidate >= 0 && m.candidate < p.palette.Len() && p.palette.Test(m.candidate) {
+				p.palette.Clear(m.candidate)
+				p.remaining--
 			}
 			if p.cand == m.candidate {
 				conflict = true
@@ -71,7 +77,7 @@ func (p *lubyProgram) Step(round int, inbox []local.Inbound) ([]local.Outbound, 
 	if p.rng.IntN(2) == 0 {
 		return nil, false
 	}
-	p.cand = p.palette[p.rng.IntN(len(p.palette))]
+	p.cand = p.palette.SelectSet(p.rng.IntN(p.remaining))
 	return []local.Outbound{{Port: local.Broadcast, Msg: lubyMsg{candidate: p.cand}}}, false
 }
 
@@ -92,13 +98,14 @@ func init() {
 			ledger := &local.Ledger{Progress: rc.ledgerProgress()}
 			seed := rng.Uint64()
 			outs, err := local.RunSync(ctx, nw, ledger, "luby", rc.MaxRounds(g), func(v int) local.Program {
-				palette := make([]int, delta+1)
-				for i := range palette {
-					palette[i] = i
+				palette := graph.NewBitset(delta + 1)
+				for i := 0; i <= delta; i++ {
+					palette.Set(i)
 				}
 				return &lubyProgram{
-					palette: palette,
-					rng:     rand.New(rand.NewPCG(seed, uint64(nw.ID[v]))),
+					palette:   palette,
+					remaining: delta + 1,
+					rng:       rand.New(rand.NewPCG(seed, uint64(nw.ID[v]))),
 				}
 			})
 			if err != nil {

@@ -1,0 +1,187 @@
+package distcolor_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"distcolor"
+	"distcolor/internal/serve/runcfg"
+)
+
+// The property sweep runs every registered Algorithm across the four
+// workload families the paper targets — planar, bounded arboricity, random
+// sparse and regular — at three seeds each, and asserts the two properties
+// every run must satisfy regardless of algorithm: the result is a proper
+// coloring (no monochromatic edge, no uncolored vertex), and when the
+// algorithm declares PaletteSize metadata, every color fits the declared
+// palette [0, k). Algorithms whose hypotheses exclude a family's base spec
+// substitute a hypothesis-compatible member of the same family (a planar
+// algorithm gets a random tree as its "random sparse" input, not a GNP
+// draw); algorithms registered after this table was written fall back to
+// their own Smoke spec so they are still swept.
+
+// sweepSpec is one family cell for one algorithm: the gen spec to run, any
+// parameter overrides its hypotheses need on that input, and — when the
+// overrides change the declared palette — the palette bound to assert
+// instead of PaletteSize under default parameters (0 = use the default).
+type sweepSpec struct {
+	spec    string
+	opts    []distcolor.Option
+	palette int
+}
+
+var sweepFamilies = []string{"planar", "arboricity", "random-sparse", "regular"}
+
+// baseSpecs are the default family representatives, mirroring the engine
+// benchmark families (apollonian = planar triangulation, forests = union of
+// 2 random forests, gnp = sparse Erdős–Rényi, regular = random 3-regular).
+var baseSpecs = map[string]sweepSpec{
+	"planar":        {spec: "apollonian:150"},
+	"arboricity":    {spec: "forests:150,2"},
+	"random-sparse": {spec: "gnp:200,3"},
+	"regular":       {spec: "regular:150,3"},
+}
+
+// sweepOverrides lists the hypothesis-compatible substitutions, keyed by
+// algorithm then family. Absent entries use baseSpecs.
+var sweepOverrides = map[string]map[string]sweepSpec{
+	// planar6 needs planar inputs everywhere: trees and cycles stand in
+	// for the non-planar families.
+	"planar6": {
+		"arboricity":    {spec: "tree:150"},
+		"random-sparse": {spec: "tree:200"},
+		"regular":       {spec: "cycle:150"},
+	},
+	// trianglefree4 additionally needs triangle-free: the grid replaces
+	// the (triangle-rich) Apollonian triangulation.
+	"trianglefree4": {
+		"planar":        {spec: "grid:10x15"},
+		"arboricity":    {spec: "tree:150"},
+		"random-sparse": {spec: "tree:200"},
+		"regular":       {spec: "cycle:150"},
+	},
+	// girth6 needs planar girth ≥ 6: the once-subdivided Apollonian
+	// triangulation has girth exactly 6, trees and long cycles more.
+	"girth6": {
+		"planar":        {spec: "subdivided:60"},
+		"arboricity":    {spec: "tree:150"},
+		"random-sparse": {spec: "tree:200"},
+		"regular":       {spec: "cycle:150"},
+	},
+	// The arboricity algorithms run at a=2 by default; Apollonian
+	// triangulations have arboricity 3 (3n-6 edges), and GNP draws have no
+	// arboricity guarantee, so the planar cell raises a and the
+	// random-sparse cell substitutes a forest union.
+	"arboricity": {
+		"planar": {spec: "apollonian:150",
+			opts: []distcolor.Option{distcolor.WithArboricity(3)}, palette: 6},
+		"random-sparse": {spec: "forests:200,2"},
+	},
+	"be": {
+		"planar": {spec: "apollonian:150",
+			opts: []distcolor.Option{distcolor.WithArboricity(3)}},
+		"random-sparse": {spec: "forests:200,2"},
+	},
+}
+
+var sweepSeeds = []uint64{1, 17, 42}
+
+// sweepCell resolves the spec for one (algorithm, family) cell. Unknown
+// algorithms (registered after this table) sweep their Smoke spec.
+func sweepCell(a *distcolor.Algorithm, family string) sweepSpec {
+	if over, ok := sweepOverrides[a.Name][family]; ok {
+		return over
+	}
+	if _, known := sweepOverrides[a.Name]; !known {
+		switch a.Name {
+		case "sparse", "genus", "delta", "nice", "gps7", "randomized", "luby":
+			// Base specs satisfy these algorithms' hypotheses in every
+			// family (all four are sparse enough for their palettes).
+		default:
+			return sweepSpec{spec: a.Smoke}
+		}
+	}
+	return baseSpecs[family]
+}
+
+// assertProper fails unless colors is a proper coloring of g with every
+// vertex colored.
+func assertProper(t *testing.T, g *distcolor.Graph, colors []int) {
+	t.Helper()
+	if len(colors) != g.N() {
+		t.Fatalf("got %d colors for %d vertices", len(colors), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if colors[v] < 0 {
+			t.Fatalf("vertex %d uncolored (%d)", v, colors[v])
+		}
+		for _, w := range g.Neighbors(v) {
+			if colors[v] == colors[int(w)] {
+				t.Fatalf("monochromatic edge (%d,%d): both color %d", v, w, colors[v])
+			}
+		}
+	}
+}
+
+// assertClique fails unless verts is a genuine clique of g of size ≥ 2 —
+// the alternative outcome of the Theorem 1.3 family and the Δ-list
+// algorithm is a clique certificate, which must be checkable.
+func assertClique(t *testing.T, g *distcolor.Graph, verts []int) {
+	t.Helper()
+	if len(verts) < 2 {
+		t.Fatalf("clique certificate with %d vertices", len(verts))
+	}
+	for i, u := range verts {
+		for _, v := range verts[i+1:] {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("clique certificate not a clique: missing edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestProperColoringSweep(t *testing.T) {
+	for _, a := range distcolor.Algorithms() {
+		for _, family := range sweepFamilies {
+			cell := sweepCell(a, family)
+			for _, seed := range sweepSeeds {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", a.Name, family, seed), func(t *testing.T) {
+					g, err := runcfg.Generate(cell.spec, 1)
+					if err != nil {
+						t.Fatalf("generating %q: %v", cell.spec, err)
+					}
+					opts := append([]distcolor.Option{distcolor.WithSeed(seed)}, cell.opts...)
+					col, err := distcolor.Run(context.Background(), g, a.Name, opts...)
+					if err != nil {
+						t.Fatalf("%s on %q: %v", a.Name, cell.spec, err)
+					}
+					if col.Clique != nil {
+						assertClique(t, g, col.Clique)
+						return
+					}
+					assertProper(t, g, col.Colors)
+					k := cell.palette
+					if k == 0 {
+						if a.PaletteSize == nil {
+							return
+						}
+						params, err := a.ResolveParams(nil)
+						if err != nil {
+							t.Fatalf("resolving default params: %v", err)
+						}
+						var ok bool
+						if k, ok = a.PaletteSize(g, params); !ok {
+							return
+						}
+					}
+					for v, c := range col.Colors {
+						if c >= k {
+							t.Fatalf("vertex %d color %d outside declared palette [0,%d)", v, c, k)
+						}
+					}
+				})
+			}
+		}
+	}
+}
