@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench bench-json fuzz-smoke serve staticcheck
+.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench bench-json bench-obs fuzz-smoke serve staticcheck
 
 # Benchmarks recorded in the persistent BENCH_PR.json trajectory (and gated
 # by bench-smoke): the engine acceptance suite plus the graph-layer
-# primitives its hot path leans on.
-BENCH_JSON_PAT = BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery|BenchmarkHappySet|BenchmarkBlocks|BenchmarkGallai|BenchmarkBFS|BenchmarkDegeneracy|BenchmarkGirth|BenchmarkDegreeListColor
-BENCH_JSON_PKGS = . ./internal/graph ./internal/seqcolor
+# primitives its hot path leans on, and the instrumented (Obs) twins of the
+# delivery and serving benchmarks so the trajectory records observability
+# cost alongside raw cost.
+BENCH_JSON_PAT = BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery|BenchmarkHappySet|BenchmarkBlocks|BenchmarkGallai|BenchmarkBFS|BenchmarkDegeneracy|BenchmarkGirth|BenchmarkDegreeListColor|BenchmarkServeThroughput$$|BenchmarkServeThroughputObs$$
+BENCH_JSON_PKGS = . ./internal/graph ./internal/seqcolor ./internal/serve
 
 all: ci
 
@@ -71,6 +73,16 @@ bench-smoke:
 bench-json:
 	$(GO) test -run xxx -benchtime 3x -benchmem -bench '$(BENCH_JSON_PAT)' $(BENCH_JSON_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR.json
+
+# Instrumentation-overhead guard: run the hot benchmarks in their no-op and
+# instrumented (Obs) variants in one pass, keep the min of 3 repetitions of
+# each, and fail when an Obs twin exceeds its no-op twin by more than 5%.
+# No committed baseline involved — both sides run on the same machine in
+# the same invocation, so the gate is noise-robust and portable.
+bench-obs:
+	{ $(GO) test -run xxx -count 3 -benchtime 20x -bench 'BenchmarkRunSyncDelivery(Obs)?$$' . ; \
+	  $(GO) test -run xxx -count 3 -benchtime 100x -bench 'BenchmarkServeThroughput(Obs)?$$' ./internal/serve ; } \
+	| $(GO) run ./cmd/benchjson -overhead Obs -overhead-tolerance 1.05
 
 # Short native-fuzz smoke over the edge-list parser (the committed seed
 # corpus always runs in plain `go test`; this explores beyond it).

@@ -207,8 +207,22 @@ func (p *deliveryProgram) Output() any { return p.acc }
 // case: a hub-heavy graph (a clique of hubs, each fanning out to hundreds
 // of leaves) where a handful of receivers absorb most of the traffic, under
 // a program whose step work is trivial — so the benchmark is bound by
-// message routing and delivery, not by node computation.
+// message routing and delivery, not by node computation. It runs with no
+// ledger — the observability-off baseline its Obs twin is gated against.
 func BenchmarkRunSyncDelivery(b *testing.B) {
+	benchRunSyncDelivery(b, func() *local.Ledger { return nil })
+}
+
+// BenchmarkRunSyncDeliveryObs is the same workload with a fresh round-trace
+// recorder attached, i.e. full per-round observability including per-shard
+// delivery timing. `make bench-obs` gates it within 5% of the no-op twin.
+func BenchmarkRunSyncDeliveryObs(b *testing.B) {
+	benchRunSyncDelivery(b, func() *local.Ledger {
+		return &local.Ledger{Trace: &local.RoundTrace{}}
+	})
+}
+
+func benchRunSyncDelivery(b *testing.B, mkLedger func() *local.Ledger) {
 	const hubs, leavesPerHub, rounds = 8, 500, 8
 	bld := NewBuilder(hubs * (1 + leavesPerHub))
 	for h := 0; h < hubs; h++ {
@@ -228,7 +242,7 @@ func BenchmarkRunSyncDelivery(b *testing.B) {
 	b.SetBytes(int64(2 * g.M() * rounds)) // messages per iteration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := local.RunSync(context.Background(), nw, nil, "bench", rounds+3,
+		_, err := local.RunSync(context.Background(), nw, mkLedger(), "bench", rounds+3,
 			func(v int) local.Program { return &deliveryProgram{rounds: rounds} })
 		if err != nil {
 			b.Fatal(err)

@@ -2,10 +2,17 @@
 // repository's persistent benchmark trajectory file (BENCH_PR.json) and
 // gates regressions against a committed baseline.
 //
-// Two modes, composable in one invocation:
+// Three modes, composable in one invocation:
 //
 //	go test -run xxx -bench ... -benchmem ./... | benchjson -out BENCH_PR.json
 //	go test -run xxx -bench ... -benchmem ./... | benchjson -check BENCH_PR.json -tolerance 1.5
+//	go test -run xxx -bench 'X(Obs)?$' ./... | benchjson -overhead Obs -overhead-tolerance 1.05
+//
+// -overhead pairs benchmarks WITHIN one run: each benchmark whose top-level
+// name ends in the suffix (BenchmarkFooObs, BenchmarkFooObs/case) is gated
+// against its unsuffixed twin (BenchmarkFoo, BenchmarkFoo/case) from the
+// same input — the instrumentation-overhead guard, free of any committed
+// baseline. Suffixed benchmarks without a twin are ignored.
 //
 // The emitted JSON maps each benchmark name (GOMAXPROCS suffix stripped) to
 // its ns/op and allocs/op. When a benchmark appears more than once in the
@@ -95,6 +102,47 @@ func check(results, baseline map[string]Result, tolerance float64) []string {
 	return bad
 }
 
+// twinName maps a suffixed benchmark name to its baseline twin: the suffix
+// is stripped from the top-level name, sub-benchmark path preserved.
+// ("BenchmarkFooObs/case", "Obs") → ("BenchmarkFoo/case", true).
+func twinName(name, suffix string) (string, bool) {
+	head, rest, sub := strings.Cut(name, "/")
+	base := strings.TrimSuffix(head, suffix)
+	if base == head || base == "Benchmark" {
+		return "", false
+	}
+	if sub {
+		base += "/" + rest
+	}
+	return base, true
+}
+
+// checkOverhead gates each suffixed benchmark against its twin in the same
+// result set: suffixed ns/op must not exceed twin ns/op × tolerance.
+func checkOverhead(results map[string]Result, suffix string, tolerance float64) []string {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, name := range names {
+		twin, ok := twinName(name, suffix)
+		if !ok {
+			continue
+		}
+		base, ok := results[twin]
+		if !ok {
+			continue
+		}
+		if got := results[name].NsPerOp; got > base.NsPerOp*tolerance {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs %s %.0f (%.3fx > %.2fx tolerance)",
+				name, got, twin, base.NsPerOp, got/base.NsPerOp, tolerance))
+		}
+	}
+	return bad
+}
+
 func loadBaseline(path string) (map[string]Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -107,10 +155,17 @@ func loadBaseline(path string) (map[string]Result, error) {
 	return out, nil
 }
 
-func run(in io.Reader, stderr io.Writer, outPath, checkPath string, tolerance float64) error {
+func run(in io.Reader, stderr io.Writer, outPath, checkPath string, tolerance float64, overhead string, overheadTol float64) error {
 	results, err := parse(in)
 	if err != nil {
 		return err
+	}
+	if overhead != "" {
+		if bad := checkOverhead(results, overhead, overheadTol); len(bad) > 0 {
+			return fmt.Errorf("benchjson: %d benchmark(s) exceed their %s-twin by more than %.2fx:\n  %s",
+				len(bad), overhead, overheadTol, strings.Join(bad, "\n  "))
+		}
+		fmt.Fprintf(stderr, "benchjson: no %s overhead beyond %.2fx\n", overhead, overheadTol)
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
@@ -140,12 +195,14 @@ func main() {
 	outPath := flag.String("out", "", "write parsed results as JSON to this path")
 	checkPath := flag.String("check", "", "baseline JSON to gate regressions against")
 	tolerance := flag.Float64("tolerance", 1.5, "fail when ns/op exceeds baseline × tolerance")
+	overhead := flag.String("overhead", "", "benchmark-name suffix to gate against its unsuffixed twin in the same run")
+	overheadTol := flag.Float64("overhead-tolerance", 1.05, "fail when a suffixed benchmark exceeds its twin × this")
 	flag.Parse()
-	if *outPath == "" && *checkPath == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: need -out and/or -check")
+	if *outPath == "" && *checkPath == "" && *overhead == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: need -out, -check and/or -overhead")
 		os.Exit(2)
 	}
-	if err := run(os.Stdin, os.Stderr, *outPath, *checkPath, *tolerance); err != nil {
+	if err := run(os.Stdin, os.Stderr, *outPath, *checkPath, *tolerance, *overhead, *overheadTol); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -72,7 +72,7 @@ func TestRunRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_PR.json")
 	var stderr strings.Builder
-	if err := run(strings.NewReader(sampleOutput), &stderr, out, "", 1.5); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &stderr, out, "", 1.5, "", 1.05); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -87,7 +87,7 @@ func TestRunRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped %d benchmarks, want 3", len(decoded))
 	}
 	// The file it wrote passes as its own baseline...
-	if err := run(strings.NewReader(sampleOutput), &stderr, "", out, 1.5); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &stderr, "", out, 1.5, "", 1.05); err != nil {
 		t.Fatal(err)
 	}
 	// ...and fails against a baseline it beats by more than the tolerance.
@@ -96,7 +96,39 @@ func TestRunRoundTrip(t *testing.T) {
 	if err := os.WriteFile(tightPath, tight, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(strings.NewReader(sampleOutput), &stderr, "", tightPath, 1.5); err == nil {
+	if err := run(strings.NewReader(sampleOutput), &stderr, "", tightPath, 1.5, "", 1.05); err == nil {
 		t.Fatal("expected regression failure against tight baseline")
+	}
+}
+
+func TestCheckOverhead(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkFast":           {NsPerOp: 100},
+		"BenchmarkFastObs":        {NsPerOp: 104}, // within 1.05x
+		"BenchmarkSlow/case":      {NsPerOp: 100},
+		"BenchmarkSlowObs/case":   {NsPerOp: 106}, // over, sub-benchmark path preserved
+		"BenchmarkOrphanObs":      {NsPerOp: 999}, // no twin: ignored
+		"BenchmarkObs":            {NsPerOp: 1},   // bare "BenchmarkObs" is not a suffixed twin
+		"BenchmarkObserveLatency": {NsPerOp: 1},   // "Obs" mid-name is not a suffix
+	}
+	bad := checkOverhead(results, "Obs", 1.05)
+	if len(bad) != 1 || !strings.HasPrefix(bad[0], "BenchmarkSlowObs/case:") {
+		t.Fatalf("checkOverhead = %v, want exactly one failure on BenchmarkSlowObs/case", bad)
+	}
+	if bad := checkOverhead(results, "Obs", 1.10); len(bad) != 0 {
+		t.Fatalf("checkOverhead at 1.10x = %v, want none", bad)
+	}
+}
+
+func TestRunOverheadMode(t *testing.T) {
+	const paired = `BenchmarkRunSyncDelivery-8     5  1000000 ns/op
+BenchmarkRunSyncDeliveryObs-8  5  1200000 ns/op
+`
+	var stderr strings.Builder
+	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "Obs", 1.05); err == nil {
+		t.Fatal("expected 1.2x overhead to fail the 1.05x gate")
+	}
+	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "Obs", 1.25); err != nil {
+		t.Fatal(err)
 	}
 }

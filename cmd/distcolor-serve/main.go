@@ -13,8 +13,15 @@
 //
 // Endpoints: POST /v1/graphs, POST /v1/jobs, GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id} (cancel), GET /v1/jobs/{id}/colors (chunk-streamed),
-// GET /v1/algorithms, GET /v1/stats, GET /healthz. The README's "Serving"
-// section documents bodies and semantics.
+// GET /v1/jobs/{id}/trace (per-round execution trace), GET /v1/algorithms,
+// GET /v1/stats, GET /metrics (Prometheus text format), GET /healthz, and —
+// with -pprof — the net/http/pprof handlers under /debug/pprof/. The
+// README's "Serving" and "Observability" sections document bodies and
+// semantics.
+//
+// Logging is structured (log/slog): every request gets an ID that threads
+// through its job lifecycle events (enqueued/started/finished/cancelled),
+// as text on stderr by default or JSON with -log-json.
 package main
 
 import (
@@ -22,7 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,7 +54,21 @@ func run() error {
 	retain := flag.Int("retain", 4096, "terminal jobs kept for GET /v1/jobs and coalescing")
 	maxUpload := flag.Int64("max-upload", 64<<20, "largest accepted request body in bytes")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none); exceeded jobs abort within one LOCAL round")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %v", *logLevel, err)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
 	srv := serve.New(serve.Options{
 		Workers:          *workers,
@@ -56,6 +77,8 @@ func run() error {
 		RetainJobs:       *retain,
 		MaxUploadBytes:   *maxUpload,
 		JobTimeout:       *jobTimeout,
+		Logger:           logger,
+		EnablePprof:      *pprofFlag,
 	})
 	defer srv.Close()
 
@@ -69,13 +92,13 @@ func run() error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("distcolor-serve listening on %s", *addr)
+	logger.Info("distcolor-serve listening", "addr", *addr, "pprof", *pprofFlag)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -9,6 +9,7 @@
 //	distcolor -gen forests:1000,2 -algo arboricity -a 2
 //	distcolor -gen forests:1000,2 -algo be -a 2 -eps 0.5
 //	distcolor -gen apollonian:100000 -algo planar6 -timeout 2s -progress
+//	distcolor -gen apollonian:100000 -algo planar6 -trace trace.json
 //	distcolor -gen klein:5x9 -algo chromatic
 //	distcolor -load graph.txt -algo gps7
 //	distcolor -list-algos
@@ -21,11 +22,14 @@
 // distcolor-serve HTTP server (cmd/distcolor-serve), so a CLI run and a
 // server job with the same config produce identical results. -timeout
 // bounds a run (cancellation lands within one LOCAL round); -progress
-// streams live per-phase round totals to stderr.
+// streams live per-phase round totals and rounds/s + messages/s rates to
+// stderr; -trace writes the run's full round trace (the same TraceReport
+// JSON the server's GET /v1/jobs/{id}/trace returns) to a file.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,7 +65,8 @@ func run() error {
 	listSize := flag.Int("listsize", 0, "use random lists of this size (0 = uniform palette)")
 	palette := flag.Int("palette", 0, "palette size for random lists (0 = 2·listsize+2)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-	progress := flag.Bool("progress", false, "stream live phase progress to stderr")
+	progress := flag.Bool("progress", false, "stream live phase progress and round/message rates to stderr")
+	traceOut := flag.String("trace", "", "write the run's round trace as JSON to this file")
 	verbose := flag.Bool("v", false, "print the per-phase round breakdown")
 	listAlgos := flag.Bool("list-algos", false, "print the registered algorithms with their predicted round bounds (at n=10⁶, Δ=100) and exit")
 	smoke := flag.Bool("smoke", false, "run every registered algorithm on its tiny smoke graph and exit")
@@ -132,13 +137,29 @@ func run() error {
 		return err
 	}
 	var observe []distcolor.Option
+	var trace *distcolor.RoundTrace
+	if *progress || *traceOut != "" {
+		// One recorder serves both: the progress printer reads its running
+		// totals for live rates, and -trace serializes it at the end.
+		trace = &distcolor.RoundTrace{}
+		observe = append(observe, distcolor.WithTrace(trace))
+	}
 	if *progress {
-		observe = append(observe, distcolor.WithProgress(newProgressPrinter().observe))
+		observe = append(observe, distcolor.WithProgress(newProgressPrinter(trace).observe))
 	}
 	start := time.Now()
 	res, err := runcfg.Run(ctx, g, cfg, observe...)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
+	}
+	if *traceOut != "" {
+		// An aborted run still leaves its partial trace: those rounds ran.
+		if werr := writeTrace(*traceOut, trace.Report(cfg.Algo)); werr != nil {
+			if err == nil {
+				return werr
+			}
+			fmt.Fprintln(os.Stderr, "distcolor: writing trace:", werr)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -157,21 +178,49 @@ func run() error {
 
 // progressPrinter renders live phase progress on stderr, throttled so the
 // (very frequent) one-round layered-pass charges do not flood the terminal.
+// With a trace recorder attached it also shows the rounds/s and messages/s
+// rates over the last print interval; progress events and trace updates
+// both happen on the run goroutine, so reading the recorder here is safe.
 type progressPrinter struct {
-	last   time.Time
-	events int
+	trace      *distcolor.RoundTrace
+	last       time.Time
+	lastRounds int
+	lastMsgs   int
+	events     int
 }
 
-func newProgressPrinter() *progressPrinter { return &progressPrinter{} }
+func newProgressPrinter(trace *distcolor.RoundTrace) *progressPrinter {
+	return &progressPrinter{trace: trace, last: time.Now()}
+}
 
 func (p *progressPrinter) observe(e distcolor.PhaseEvent) {
 	p.events++
 	now := time.Now()
-	if now.Sub(p.last) < 100*time.Millisecond {
+	dt := now.Sub(p.last)
+	if dt < 100*time.Millisecond {
 		return
 	}
 	p.last = now
-	fmt.Fprintf(os.Stderr, "\r[%s] %-24s %10d rounds (%d events)", e.Algorithm, e.Phase, e.Rounds, p.events)
+	if p.trace == nil {
+		fmt.Fprintf(os.Stderr, "\r[%s] %-24s %10d rounds (%d events)", e.Algorithm, e.Phase, e.Rounds, p.events)
+		return
+	}
+	rounds, msgs := p.trace.Rounds(), p.trace.Messages()
+	fmt.Fprintf(os.Stderr, "\r[%s] %-24s %10d rounds %9.0f rounds/s %12.0f msg/s",
+		e.Algorithm, e.Phase, rounds,
+		float64(rounds-p.lastRounds)/dt.Seconds(),
+		float64(msgs-p.lastMsgs)/dt.Seconds())
+	p.lastRounds, p.lastMsgs = rounds, msgs
+}
+
+// writeTrace serializes a trace report to path as indented JSON — the same
+// schema GET /v1/jobs/{id}/trace serves.
+func writeTrace(path string, rep *distcolor.TraceReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // runSmoke runs every registered algorithm on its own tiny smoke graph

@@ -67,6 +67,10 @@ type Config struct {
 	// ledger as it lands (live phase progress). Called synchronously; must
 	// be fast and non-blocking.
 	Progress local.ProgressFunc
+	// Trace, when non-nil, records the run's execution profile (per-phase
+	// rounds, engine messages, shard timings); sub-runs record into the
+	// same trace live. See local.RoundTrace.
+	Trace *local.RoundTrace
 }
 
 // IterationStats records one peeling iteration for the Lemma 3.1 experiment.
@@ -131,7 +135,7 @@ func Run(ctx context.Context, nw *local.Network, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: vertex %d has list of size %d < d=%d", v, len(lists[v]), d)
 		}
 	}
-	ledger := &local.Ledger{Progress: cfg.Progress}
+	ledger := &local.Ledger{Progress: cfg.Progress, Trace: cfg.Trace}
 	res := &Result{Ledger: ledger, Lists: lists}
 	if n == 0 {
 		res.Colors = nil

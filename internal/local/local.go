@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"distcolor/internal/graph"
 )
@@ -100,6 +101,15 @@ type Ledger struct {
 	// before handing the ledger to an engine; it is how live phase progress
 	// reaches distcolor.WithProgress observers.
 	Progress ProgressFunc
+
+	// Trace, when non-nil, records the execution profile: every Charge
+	// lands in it, and RunSync additionally feeds it per-round message
+	// counts, active-list sizes and per-shard delivery timings. Several
+	// ledgers may share one trace (an outer run and its sub-runs record
+	// live into the same object); whoever folds a sub-ledger into an outer
+	// one with Merge must detach the shared trace first or the merged
+	// charges are recorded twice (see core.mergeLedger).
+	Trace *RoundTrace
 }
 
 // Messages returns the number of point-to-point messages delivered by the
@@ -128,6 +138,9 @@ func (l *Ledger) Charge(phase string, rounds int) {
 		l.phases[k-1].Rounds += rounds
 	} else {
 		l.phases = append(l.phases, PhaseCost{Phase: phase, Rounds: rounds})
+	}
+	if l.Trace != nil {
+		l.Trace.charge(phase, rounds)
 	}
 	if l.Progress != nil && rounds > 0 {
 		l.Progress(phase, rounds, l.total)
@@ -313,8 +326,13 @@ type engine struct {
 	shardOf   []int32 // shardOf[v] = delivery worker owning receiver v
 	shardLo   []int32 // worker s owns vertices [shardLo[s], shardLo[s+1])
 	shardMsgs []int   // per-shard delivered-message counters
-	segBounds []int   // active-list compaction segment bounds, workers+1
-	segLen    []int   // kept entries per compaction segment
+	// shardNs, when non-nil, accumulates per-shard delivery wall time for
+	// the run's RoundTrace (set by RunSync iff tracing is on; pooled path
+	// only — a serial engine has one implicit shard and nothing to
+	// balance). nil keeps the delivery hot path at a single pointer check.
+	shardNs   []int64
+	segBounds []int // active-list compaction segment bounds, workers+1
+	segLen    []int // kept entries per compaction segment
 
 	cursor atomic.Int64
 	phase  func(worker int) // body of the phase currently dispatched
@@ -665,6 +683,10 @@ func (e *engine) prepareSegments() {
 // buckets addressed to its receiver shard in ascending chunk order, then
 // compact its segment of the active list in place.
 func (e *engine) deliverPhase(w int) {
+	var t0 time.Time
+	if e.shardNs != nil {
+		t0 = time.Now()
+	}
 	// All of this shard's receive buffers are cleared — halted nodes still
 	// receive deliveries (never read, as before), and clearing keeps those
 	// bounded to one round's worth instead of accumulating for the run.
@@ -694,6 +716,9 @@ func (e *engine) deliverPhase(w int) {
 		}
 	}
 	e.segLen[w] = k
+	if e.shardNs != nil {
+		e.shardNs[w] += time.Since(t0).Nanoseconds()
+	}
 }
 
 // roundMessages aggregates the per-shard delivery counters into the round's
@@ -783,6 +808,13 @@ func RunSync(ctx context.Context, nw *Network, ledger *Ledger, phase string, max
 	n := nw.G.N()
 	e := newEngine(nw)
 	defer e.close()
+	var trace *RoundTrace
+	if ledger != nil {
+		trace = ledger.Trace
+	}
+	if trace != nil && !e.serial {
+		e.shardNs = make([]int64, e.workers)
+	}
 	for v := 0; v < n; v++ {
 		e.progs[v] = factory(v)
 		e.progs[v].Init(NodeInfo{V: v, ID: nw.ID[v], Degree: nw.G.Degree(v), N: n})
@@ -795,11 +827,19 @@ func RunSync(ctx context.Context, nw *Network, ledger *Ledger, phase string, max
 		if e.round > maxRounds {
 			return nil, fmt.Errorf("local: exceeded maxRounds=%d in phase %q", maxRounds, phase)
 		}
+		active := len(e.active)
 		rounds++
 		e.runRound()
 		if ledger != nil {
-			ledger.recordRoundMessages(e.roundMessages())
+			msgs := e.roundMessages()
+			ledger.recordRoundMessages(msgs)
+			if trace != nil {
+				trace.engineRound(phase, active, msgs)
+			}
 		}
+	}
+	if trace != nil && e.shardNs != nil {
+		trace.shardDelivery(phase, e.shardNs)
 	}
 	if ledger != nil {
 		charge := rounds - 1

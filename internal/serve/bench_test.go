@@ -18,8 +18,18 @@ import (
 // deterministic execution (the serving layer's core trick), so steady-state
 // requests are answered from the retained result; the acceptance bar is
 // ≥ 500 req/s end-to-end through real HTTP. It reports req/s explicitly.
+// Per-request observation and round tracing are off (noObs) — this is the
+// pre-instrumentation baseline its Obs twin is gated against.
 func BenchmarkServeThroughput(b *testing.B) {
-	benchThroughput(b, func(i int) uint64 { return 1 })
+	benchThroughput(b, true, func(i int) uint64 { return 1 })
+}
+
+// BenchmarkServeThroughputObs is the same workload through the production
+// default: request middleware (IDs, latency histograms, request counters)
+// and per-job round tracing all on. `make bench-obs` gates it within 5% of
+// the no-op twin.
+func BenchmarkServeThroughputObs(b *testing.B) {
+	benchThroughput(b, false, func(i int) uint64 { return 1 })
 }
 
 // BenchmarkServeThroughputFresh is the compute-bound companion: every
@@ -28,11 +38,12 @@ func BenchmarkServeThroughput(b *testing.B) {
 // server, not the 500 req/s acceptance path.
 func BenchmarkServeThroughputFresh(b *testing.B) {
 	var seq atomic.Uint64
-	benchThroughput(b, func(int) uint64 { return seq.Add(1) })
+	benchThroughput(b, true, func(int) uint64 { return seq.Add(1) })
 }
 
-func benchThroughput(b *testing.B, seedFor func(int) uint64) {
+func benchThroughput(b *testing.B, noObs bool, seedFor func(int) uint64) {
 	s := New(Options{Workers: 4, QueueDepth: 4096})
+	s.noObs = noObs
 	ts := httptest.NewServer(s)
 	defer func() {
 		ts.Close()

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distcolor"
 	"distcolor/internal/graph"
 	"distcolor/internal/serve/runcfg"
 )
@@ -36,8 +37,12 @@ type Job struct {
 	ID      string
 	GraphID string
 	Cfg     runcfg.Config
-	key     string       // coalescing identity: graph + canonical config
-	g       *graph.Graph // pinned at submit so LRU eviction can't race the run
+	// ReqID names the HTTP request that created the job, threading through
+	// the structured-log lifecycle events so a job's whole history joins
+	// back to one request ID. Coalesced duplicates keep the creator's ID.
+	ReqID string
+	key   string       // coalescing identity: graph + canonical config
+	g     *graph.Graph // pinned at submit so LRU eviction can't race the run
 
 	// ctx is cancelled by DELETE /v1/jobs/{id} and by client-disconnect
 	// abort; the run observes it cooperatively (within one LOCAL round).
@@ -49,12 +54,19 @@ type Job struct {
 	// cancels jobs nobody else is interested in.
 	refs atomic.Int32
 
+	// accounted guards terminal-status accounting: whichever path observes
+	// the job's end first — the worker finishing a run, or a cancel
+	// terminalizing a queued job — wins the CAS in Server.recordTerminal
+	// and the job counts exactly once.
+	accounted atomic.Bool
+
 	done chan struct{}
 
 	mu       sync.Mutex
 	status   JobStatus
 	result   *runcfg.Result
 	errMsg   string
+	trace    *distcolor.TraceReport
 	enqueued time.Time
 	started  time.Time
 	finished time.Time
@@ -92,6 +104,22 @@ func (j *Job) Snapshot() JobView {
 		Started:  j.started,
 		Finished: j.finished,
 	}
+}
+
+// setTrace attaches the run's round-trace report. The worker calls it
+// before finish, so anyone released by Done observes the trace.
+func (j *Job) setTrace(rep *distcolor.TraceReport) {
+	j.mu.Lock()
+	j.trace = rep
+	j.mu.Unlock()
+}
+
+// TraceReport returns the job's recorded round trace, nil when the job
+// never executed (still queued, cancelled before start) or tracing was off.
+func (j *Job) TraceReport() *distcolor.TraceReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // Done is closed when the job reaches done, failed or cancelled.
@@ -198,10 +226,11 @@ func jobKey(graphID string, cfg runcfg.Config) string {
 
 // Intern returns the job for (graphID, cfg): an existing queued, running or
 // successfully-done job with the same identity (coalesced=true), or a fresh
-// queued job registered under a new ID. Failed and cancelled jobs are not
-// coalesced against, so a retry re-executes. When fresh is set, coalescing
-// is bypassed and a new job is always minted.
-func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, fresh bool) (job *Job, coalesced bool) {
+// queued job registered under a new ID and stamped with the creating
+// request's reqID. Failed and cancelled jobs are not coalesced against, so
+// a retry re-executes. When fresh is set, coalescing is bypassed and a new
+// job is always minted.
+func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, fresh bool, reqID string) (job *Job, coalesced bool) {
 	key := jobKey(graphID, cfg)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -219,6 +248,7 @@ func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, 
 		ID:       fmt.Sprintf("j%d", r.seq),
 		GraphID:  graphID,
 		Cfg:      cfg,
+		ReqID:    reqID,
 		key:      key,
 		g:        g,
 		ctx:      ctx,

@@ -196,6 +196,10 @@ type Result struct {
 	// Rounds is the total LOCAL round cost; Phases the per-phase breakdown.
 	Rounds int
 	Phases []distcolor.Phase
+	// Messages is the engine's point-to-point message total (0 for fully
+	// centrally simulated runs) — the quantity the serving tier's
+	// engine-messages metric accumulates.
+	Messages int
 	// Verified reports that the coloring was re-checked against the graph
 	// (and the lists the run actually used) before being returned.
 	Verified bool
@@ -258,10 +262,11 @@ func Run(ctx context.Context, g *graph.Graph, cfg Config, extra ...distcolor.Opt
 		return nil, err
 	}
 	res := &Result{
-		Colors: col.Colors,
-		Clique: col.Clique,
-		Rounds: col.Rounds,
-		Phases: col.Phases,
+		Colors:   col.Colors,
+		Clique:   col.Clique,
+		Rounds:   col.Rounds,
+		Phases:   col.Phases,
+		Messages: col.Messages,
 	}
 	if col.Clique != nil {
 		return res, nil

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrQueueFull is returned by Enqueue when accepting the batch would exceed
@@ -30,6 +31,7 @@ type Scheduler struct {
 	closed bool
 	wg     sync.WaitGroup
 	exec   func(*Job)
+	busy   atomic.Int64 // workers currently inside exec
 }
 
 // NewScheduler starts workers goroutines executing exec on queued jobs, in
@@ -64,7 +66,9 @@ func (s *Scheduler) worker() {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
+		s.busy.Add(1)
 		s.exec(j)
+		s.busy.Add(-1)
 	}
 }
 
@@ -107,6 +111,10 @@ func (s *Scheduler) Remove(j *Job) bool {
 	}
 	return false
 }
+
+// Busy returns the number of workers currently executing a job — the
+// occupancy the metrics endpoint exports next to QueueDepth.
+func (s *Scheduler) Busy() int64 { return s.busy.Load() }
 
 // QueueDepth returns the number of jobs waiting (not running).
 func (s *Scheduler) QueueDepth() int {

@@ -30,12 +30,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distcolor"
@@ -64,6 +67,13 @@ type Options struct {
 	// exceeding it is aborted (within one LOCAL round) and reported as
 	// failed with a deadline error. Queue wait does not count. 0 = none.
 	JobTimeout time.Duration
+	// Logger receives structured request and job-lifecycle events, each
+	// carrying the request ID that started the work. nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
+	// own mux. Off by default: the profiler is a diagnostic surface, not
+	// part of the public API.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -82,17 +92,23 @@ func (o Options) withDefaults() Options {
 	if o.MaxUploadBytes <= 0 {
 		o.MaxUploadBytes = 64 << 20
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
 	return o
 }
 
 // Server is the HTTP serving layer. Create with New, close with Close.
 type Server struct {
-	opts  Options
-	store *GraphStore
-	jobs  *JobRegistry
-	sched *Scheduler
-	stats *Stats
-	mux   *http.ServeMux
+	opts    Options
+	store   *GraphStore
+	jobs    *JobRegistry
+	sched   *Scheduler
+	stats   *Stats
+	metrics *serveMetrics
+	log     *slog.Logger
+	mux     *http.ServeMux
+	reqSeq  atomic.Int64 // request-ID source (r1, r2, …)
 
 	// submitMu makes intern→enqueue→rollback one atomic step (see
 	// submitJobs); without it a 429 rollback could release a job another
@@ -103,32 +119,117 @@ type Server struct {
 	// executes. Tests use it to hold workers and fill the queue
 	// deterministically.
 	beforeRun func(*Job)
+
+	// noObs disables per-request observation (middleware timing, request
+	// IDs) and per-job round tracing, leaving only the always-on stats
+	// counters. It exists so the throughput benchmark can measure the
+	// pre-instrumentation baseline next to the instrumented default; it is
+	// not a supported production mode.
+	noObs bool
 }
 
 // New builds a ready-to-serve Server.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	metrics := newServeMetrics()
 	s := &Server{
-		opts:  opts,
-		store: NewGraphStore(opts.GraphCacheWeight),
-		jobs:  NewJobRegistry(opts.RetainJobs),
-		stats: &Stats{},
-		mux:   http.NewServeMux(),
+		opts:    opts,
+		store:   NewGraphStore(opts.GraphCacheWeight),
+		jobs:    NewJobRegistry(opts.RetainJobs),
+		stats:   newStats(metrics.reg),
+		metrics: metrics,
+		log:     opts.Logger,
+		mux:     http.NewServeMux(),
 	}
 	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
+	metrics.wire(s)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleUploadGraph)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/colors", s.handleGetColors)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// reqIDKey carries the per-request ID through the request context.
+type reqIDKey struct{}
+
+// requestID returns the ID the middleware assigned this request ("" when
+// observation is off — direct mux use in benchmarks).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for the request log and
+// metrics. Its explicit Flush keeps the streaming color handler's flusher
+// visible through the wrapper (interface embedding alone would hide it).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP implements http.Handler: it assigns the request an ID, times
+// the dispatch, and records (endpoint, code, latency) into the metrics
+// registry and the structured log. The endpoint label is the mux pattern
+// that matched ("GET /v1/jobs/{id}"), never the raw path, so cardinality
+// stays bounded by the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.noObs {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	reqID := fmt.Sprintf("r%d", s.reqSeq.Add(1))
+	r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, reqID))
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	endpoint := r.Pattern // set by the mux on this request during dispatch
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	s.metrics.observeHTTP(endpoint, sw.code, elapsed.Seconds())
+	s.log.Info("http request",
+		"req", reqID, "method", r.Method, "path", r.URL.Path,
+		"endpoint", endpoint, "code", sw.code,
+		"ms", float64(elapsed)/float64(time.Millisecond))
+}
 
 // Close stops the worker pool after draining already-accepted jobs.
 func (s *Server) Close() { s.sched.Close() }
@@ -144,18 +245,54 @@ func (s *Server) execute(j *Job) {
 	if !j.tryStart() {
 		return
 	}
+	s.log.Info("job started", "req", j.ReqID, "job", j.ID,
+		"algo", j.Cfg.Algo, "graph", j.GraphID)
 	ctx := j.Context()
 	if s.opts.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
 		defer cancel()
 	}
-	res, err := runcfg.Run(ctx, j.g, j.Cfg)
+	var extra []distcolor.Option
+	var tr *distcolor.RoundTrace
+	if !s.noObs {
+		tr = &distcolor.RoundTrace{}
+		extra = append(extra, distcolor.WithTrace(tr))
+	}
+	res, err := runcfg.Run(ctx, j.g, j.Cfg, extra...)
 	if err != nil && errors.Is(err, context.DeadlineExceeded) {
 		err = fmt.Errorf("job deadline %s exceeded: %w", s.opts.JobTimeout, err)
 	}
+	if tr != nil {
+		// Attach the trace before finish closes done: a waiter released by
+		// Done can fetch /v1/jobs/{id}/trace immediately. Aborted runs keep
+		// their partial trace — the rounds were executed and paid for.
+		rep := tr.Report(j.Cfg.Algo)
+		j.setTrace(rep)
+		s.metrics.engineRounds.Add(int64(rep.Rounds))
+		s.metrics.engineMessages.Add(int64(rep.Messages))
+		if rep.ShardImbalance > 0 {
+			s.metrics.shardImbalance.Set(rep.ShardImbalance)
+		}
+	}
 	j.finish(res, err)
 	s.jobs.markTerminal(j)
+	s.recordTerminal(j)
+	v := j.Snapshot()
+	s.log.Info("job finished", "req", j.ReqID, "job", j.ID,
+		"status", string(v.Status), "err", v.Err,
+		"run_ms", float64(v.Finished.Sub(v.Started))/float64(time.Millisecond))
+}
+
+// recordTerminal is the single entry point for terminal-status accounting:
+// both the worker finishing a run and a cancel terminalizing a queued job
+// land here, and the per-job CAS lets exactly one of them count the job.
+// Queued-cancelled jobs never ran, so their recorded latency is pure queue
+// wait — still the client-visible enqueue-to-terminal time.
+func (s *Server) recordTerminal(j *Job) {
+	if !j.accounted.CompareAndSwap(false, true) {
+		return
+	}
 	v := j.Snapshot()
 	s.stats.jobFinished(v.Finished.Sub(v.Enqueued), v.Status)
 }
@@ -393,11 +530,12 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 	// lock makes Intern→Enqueue→(rollback Release on 429) indivisible, so a
 	// concurrent identical request can never coalesce onto a job that is
 	// about to be released because its batch did not fit the queue.
+	reqID := requestID(r)
 	s.submitMu.Lock()
 	subs := make([]submission, 0, len(work))
 	var toEnqueue []*Job
 	for _, rw := range work {
-		job, coalesced := s.jobs.Intern(rw.graphID, rw.g, rw.cfg, rw.fresh)
+		job, coalesced := s.jobs.Intern(rw.graphID, rw.g, rw.cfg, rw.fresh, reqID)
 		subs = append(subs, submission{job: job, coalesced: coalesced})
 		if !coalesced {
 			toEnqueue = append(toEnqueue, job)
@@ -426,12 +564,16 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 		}
 		return
 	}
-	for range toEnqueue {
+	for _, j := range toEnqueue {
 		s.stats.jobEnqueued()
+		s.log.Info("job enqueued", "req", reqID, "job", j.ID,
+			"algo", j.Cfg.Algo, "graph", j.GraphID)
 	}
 	for _, sub := range subs {
 		if sub.coalesced {
 			s.stats.jobCoalesced()
+			s.log.Info("job coalesced", "req", reqID, "job", sub.job.ID,
+				"creator_req", sub.job.ReqID)
 		}
 	}
 
@@ -539,7 +681,8 @@ func (s *Server) cancelJob(j *Job) {
 	if j.markCancelledIfQueued() {
 		s.sched.Remove(j)
 		s.jobs.markTerminal(j)
-		s.stats.jobCancelled()
+		s.recordTerminal(j)
+		s.log.Info("job cancelled while queued", "req", j.ReqID, "job", j.ID)
 	}
 }
 
@@ -750,6 +893,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"evicted":         s.store.Evicted(),
 		},
 	})
+}
+
+// handleTrace is GET /v1/jobs/{id}/trace: the per-round execution trace of
+// a finished job — per-phase round, message and active-list series plus
+// per-shard delivery timings — in the same TraceReport JSON schema the CLI
+// -trace flag writes. Queued or running jobs are 409 (the trace is built
+// when the run ends); terminal jobs without a trace (cancelled before
+// start, or run with observation off) are also 409.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	switch v := j.Snapshot(); {
+	case !v.Status.terminal():
+		writeError(w, http.StatusConflict, "job %s is %s; the trace is available once the job ends", j.ID, v.Status)
+	default:
+		rep := j.TraceReport()
+		if rep == nil {
+			writeError(w, http.StatusConflict, "job %s has no recorded trace", j.ID)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	}
+}
+
+// handleMetrics is GET /metrics: the full registry in Prometheus text
+// exposition format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

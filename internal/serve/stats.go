@@ -1,52 +1,78 @@
 package serve
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"distcolor/internal/obs"
 )
 
-// latencyWindow is how many recent job latencies the percentile estimator
-// retains. Percentiles are over this sliding window, not all time, which is
-// what an operator watching a live service wants.
+// latencyWindow was the sliding-window size of the retired sort-on-snapshot
+// latency estimator. It survives as the reference scale for the percentile
+// agreement tests: the histogram path must agree with a nearest-rank sort
+// over a window of exactly this size to within one log₂ bucket.
 const latencyWindow = 2048
 
-// Stats aggregates serving counters and a sliding-window latency
-// distribution. All methods are safe for concurrent use.
+// Stats aggregates the serving tier's job counters and latency
+// distribution on obs instruments, so /v1/stats and /metrics read the very
+// same state. Counting is a single atomic add; Snapshot derives p50/p99
+// from the log-bucketed histogram in O(buckets) — the sort-on-every-
+// snapshot ring buffer this replaced paid O(window log window) per scrape
+// under a mutex. Percentiles are all-time, quantized to the histogram's
+// log₂ bucket bounds.
+//
+// Terminal-status accounting has exactly one entry point
+// (Server.recordTerminal): a job increments done/failed/cancelled once, no
+// matter how many paths observe its end.
 type Stats struct {
-	mu        sync.Mutex
-	enqueued  int64
-	coalesced int64
-	rejected  int64
-	done      int64
-	failed    int64
-	cancelled int64
-	lat       []time.Duration // ring buffer of recent job latencies
-	latNext   int
+	enqueued  *obs.Counter
+	coalesced *obs.Counter
+	rejected  *obs.Counter
+	done      *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	latency   *obs.Histogram
 }
 
-func (s *Stats) jobEnqueued()  { s.mu.Lock(); s.enqueued++; s.mu.Unlock() }
-func (s *Stats) jobCoalesced() { s.mu.Lock(); s.coalesced++; s.mu.Unlock() }
-func (s *Stats) jobRejected()  { s.mu.Lock(); s.rejected++; s.mu.Unlock() }
-func (s *Stats) jobCancelled() { s.mu.Lock(); s.cancelled++; s.mu.Unlock() }
+// newStats wires the job counters into the registry under the
+// distcolor_jobs_* families.
+func newStats(reg *obs.Registry) *Stats {
+	const statusHelp = "Jobs by terminal status."
+	s := &Stats{
+		enqueued:  reg.Counter("distcolor_jobs_enqueued_total", "Jobs accepted into the queue.", nil),
+		coalesced: reg.Counter("distcolor_jobs_coalesced_total", "Submissions answered by an existing identical job.", nil),
+		rejected:  reg.Counter("distcolor_jobs_rejected_total", "Submissions rejected by queue backpressure.", nil),
+		done:      reg.Counter("distcolor_jobs_total", statusHelp, obs.Labels{"status": string(StatusDone)}),
+		failed:    reg.Counter("distcolor_jobs_total", statusHelp, obs.Labels{"status": string(StatusFailed)}),
+		cancelled: reg.Counter("distcolor_jobs_total", statusHelp, obs.Labels{"status": string(StatusCancelled)}),
+		latency:   reg.Histogram("distcolor_job_seconds", "Job end-to-end latency (enqueue to terminal).", nil),
+	}
+	reg.GaugeFunc("distcolor_jobs_coalesced_ratio",
+		"Fraction of submissions answered by coalescing.", nil, func() float64 {
+			c, e := s.coalesced.Value(), s.enqueued.Value()
+			if c+e == 0 {
+				return 0
+			}
+			return float64(c) / float64(c+e)
+		})
+	return s
+}
 
+func (s *Stats) jobEnqueued()  { s.enqueued.Inc() }
+func (s *Stats) jobCoalesced() { s.coalesced.Inc() }
+func (s *Stats) jobRejected()  { s.rejected.Inc() }
+
+// jobFinished records one job's terminal status and end-to-end latency.
+// Callers must guarantee once-per-job delivery (see Server.recordTerminal).
 func (s *Stats) jobFinished(latency time.Duration, status JobStatus) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch status {
 	case StatusFailed:
-		s.failed++
+		s.failed.Inc()
 	case StatusCancelled:
-		s.cancelled++
+		s.cancelled.Inc()
 	default:
-		s.done++
+		s.done.Inc()
 	}
-	if len(s.lat) < latencyWindow {
-		s.lat = append(s.lat, latency)
-		return
-	}
-	s.lat[s.latNext] = latency
-	s.latNext = (s.latNext + 1) % latencyWindow
+	s.latency.Observe(latency.Seconds())
 }
 
 // Snapshot is a point-in-time view of the serving statistics.
@@ -61,30 +87,27 @@ type Snapshot struct {
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 }
 
-// Snapshot computes the current counters and p50/p99 latency over the
-// sliding window.
+// Snapshot reads the current counters and histogram percentiles.
 func (s *Stats) Snapshot() Snapshot {
-	s.mu.Lock()
 	snap := Snapshot{
-		JobsEnqueued:  s.enqueued,
-		JobsCoalesced: s.coalesced,
-		JobsRejected:  s.rejected,
-		JobsDone:      s.done,
-		JobsFailed:    s.failed,
-		JobsCancelled: s.cancelled,
+		JobsEnqueued:  s.enqueued.Value(),
+		JobsCoalesced: s.coalesced.Value(),
+		JobsRejected:  s.rejected.Value(),
+		JobsDone:      s.done.Value(),
+		JobsFailed:    s.failed.Value(),
+		JobsCancelled: s.cancelled.Value(),
 	}
-	window := append([]time.Duration(nil), s.lat...)
-	s.mu.Unlock()
-	if len(window) == 0 {
-		return snap
+	if s.latency.Count() > 0 {
+		snap.LatencyP50Ms = s.latency.Quantile(50) * 1e3
+		snap.LatencyP99Ms = s.latency.Quantile(99) * 1e3
 	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	snap.LatencyP50Ms = float64(percentile(window, 50)) / float64(time.Millisecond)
-	snap.LatencyP99Ms = float64(percentile(window, 99)) / float64(time.Millisecond)
 	return snap
 }
 
 // percentile returns the p-th percentile (nearest-rank) of sorted samples.
+// It is the exact-sort reference the histogram quantiles are tested
+// against (agreement within one bucket on windows up to latencyWindow); no
+// serving path sorts anymore.
 func percentile(sorted []time.Duration, p int) time.Duration {
 	i := (len(sorted)*p + 99) / 100
 	if i > 0 {

@@ -27,6 +27,8 @@ type GraphStore struct {
 	bySpec  map[string]*list.Element // "spec@seed" → LRU element
 	lru     *list.List               // front = most recent; values are *storedGraph
 	evicted int64
+	hits    int64
+	misses  int64
 }
 
 type storedGraph struct {
@@ -78,6 +80,7 @@ func (s *GraphStore) AddSpec(spec string, seed uint64, generate func() (*graph.G
 	if el, ok := s.bySpec[key]; ok {
 		s.lru.MoveToFront(el)
 		sg := el.Value.(*storedGraph)
+		s.hits++
 		s.mu.Unlock()
 		return sg.id, sg.g, true, nil
 	}
@@ -91,10 +94,14 @@ func (s *GraphStore) AddSpec(spec string, seed uint64, generate func() (*graph.G
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.bySpec[key]; ok {
+		// A racing identical upload won; this caller still generated, so the
+		// work it did counts as a miss even though it gets the cached entry.
 		s.lru.MoveToFront(el)
 		sg := el.Value.(*storedGraph)
+		s.misses++
 		return sg.id, sg.g, true, nil
 	}
+	s.misses++
 	id, err = s.insert(g, key)
 	if err != nil {
 		return "", nil, false, err
@@ -142,8 +149,10 @@ func (s *GraphStore) Get(id string) (*graph.Graph, bool) {
 	defer s.mu.Unlock()
 	el, ok := s.items[id]
 	if !ok {
+		s.misses++
 		return nil, false
 	}
+	s.hits++
 	s.lru.MoveToFront(el)
 	return el.Value.(*storedGraph).g, true
 }
@@ -167,4 +176,14 @@ func (s *GraphStore) Evicted() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.evicted
+}
+
+// HitsMisses returns the lookup counters: hits are Get or AddSpec calls
+// answered by a resident graph without generating; misses are failed Gets
+// and AddSpec calls that had to generate (including generate work thrown
+// away to a racing identical upload).
+func (s *GraphStore) HitsMisses() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
 }

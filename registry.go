@@ -153,6 +153,7 @@ type RunConfig struct {
 	algo     *Algorithm
 	explicit map[string]float64
 	progress func(PhaseEvent)
+	trace    *local.RoundTrace
 	rng      *rand.Rand
 }
 
@@ -182,6 +183,11 @@ func (rc *RunConfig) ledgerProgress() local.ProgressFunc {
 	}
 	return rc.EmitProgress
 }
+
+// ledgerTrace returns the run's trace recorder for attaching to ledgers
+// (nil when the caller did not ask for a trace — the engines then pay a
+// single nil check and record nothing).
+func (rc *RunConfig) ledgerTrace() *local.RoundTrace { return rc.trace }
 
 // network binds the graph to the run's ID assignment (shuffled when Seed is
 // non-zero — the LOCAL model assigns IDs adversarially).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"distcolor/internal/local"
 	"distcolor/internal/seqcolor"
 )
 
@@ -48,6 +49,27 @@ func WithBallC(c float64) Option { return func(rc *RunConfig) { rc.BallC = c } }
 // synchronously from the run; keep it fast and non-blocking.
 func WithProgress(fn func(PhaseEvent)) Option {
 	return func(rc *RunConfig) { rc.progress = fn }
+}
+
+// RoundTrace records a run's execution profile: per-phase LOCAL round
+// totals (always in exact agreement with Coloring.Phases), and — for
+// phases driven by the message-passing engine — per-round message counts,
+// active-list sizes and per-shard delivery timings. Attach one with
+// WithTrace; after the run, Report produces the wire-form TraceReport.
+type RoundTrace = local.RoundTrace
+
+// TraceReport is the JSON wire form of a completed run's RoundTrace — the
+// same schema served by the serving tier's GET /v1/jobs/{id}/trace and
+// written by `distcolor -trace`.
+type TraceReport = local.TraceReport
+
+// WithTrace attaches a round-trace recorder to the run. The recorder is
+// owned by the run until Run returns: read it from the calling goroutine
+// afterwards (or synchronously from a WithProgress observer), then build
+// the wire report with trace.Report(algo). Nil is a no-op; runs without a
+// trace pay one nil check per engine round.
+func WithTrace(t *RoundTrace) Option {
+	return func(rc *RunConfig) { rc.trace = t }
 }
 
 // WithParam sets a named algorithm parameter (see Algorithm.Params).
