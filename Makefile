@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench bench-json bench-obs fuzz-smoke serve staticcheck
+.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench bench-json bench-obs fuzz-smoke serve staticcheck trace-demo
 
 # Benchmarks recorded in the persistent BENCH_PR.json trajectory (and gated
 # by bench-smoke): the engine acceptance suite plus the graph-layer
@@ -77,12 +77,23 @@ bench-json:
 # Instrumentation-overhead guard: run the hot benchmarks in their no-op and
 # instrumented (Obs) variants in one pass, keep the min of 3 repetitions of
 # each, and fail when an Obs twin exceeds its no-op twin by more than 5%.
-# No committed baseline involved — both sides run on the same machine in
-# the same invocation, so the gate is noise-robust and portable.
+# The serve Obs twin runs the full tracing path — traceparent parse and
+# injection, root + store + queue + run + engine-phase spans into the
+# flight ring, histogram exemplars — so span instrumentation is held to
+# the same ≤5% bound as the metrics were. No committed baseline involved —
+# both sides run on the same machine in the same invocation, so the gate
+# is noise-robust and portable.
 bench-obs:
 	{ $(GO) test -run xxx -count 3 -benchtime 20x -bench 'BenchmarkRunSyncDelivery(Obs)?$$' . ; \
 	  $(GO) test -run xxx -count 3 -benchtime 100x -bench 'BenchmarkServeThroughput(Obs)?$$' ./internal/serve ; } \
 	| $(GO) run ./cmd/benchjson -overhead Obs -overhead-tolerance 1.05
+
+# Run one real job and emit a viewable span trace: open trace-demo.json
+# as-is in https://ui.perfetto.dev (or chrome://tracing). The same span
+# tree is what the server records per request (GET /v1/traces/{id}).
+trace-demo:
+	$(GO) run ./cmd/distcolor -gen apollonian:20000 -algo planar6 -spans trace-demo.json
+	@echo "wrote trace-demo.json — open it in https://ui.perfetto.dev"
 
 # Short native-fuzz smoke over the edge-list parser (the committed seed
 # corpus always runs in plain `go test`; this explores beyond it).

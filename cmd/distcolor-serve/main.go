@@ -14,14 +14,19 @@
 // Endpoints: POST /v1/graphs, POST /v1/jobs, GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id} (cancel), GET /v1/jobs/{id}/colors (chunk-streamed),
 // GET /v1/jobs/{id}/trace (per-round execution trace), GET /v1/algorithms,
-// GET /v1/stats, GET /metrics (Prometheus text format), GET /healthz, and —
-// with -pprof — the net/http/pprof handlers under /debug/pprof/. The
+// GET /v1/stats, GET /v1/traces/{traceID} (request span tree, ?format=chrome
+// for Perfetto), GET /metrics (Prometheus text; OpenMetrics with exemplars
+// when negotiated), GET /healthz, GET /debug/flight (span flight recorder),
+// and — with -pprof — the net/http/pprof handlers under /debug/pprof/. The
 // README's "Serving" and "Observability" sections document bodies and
 // semantics.
 //
-// Logging is structured (log/slog): every request gets an ID that threads
-// through its job lifecycle events (enqueued/started/finished/cancelled),
-// as text on stderr by default or JSON with -log-json.
+// Logging is structured (log/slog): every request gets a globally unique
+// ID and a W3C trace ID (inbound traceparent headers are continued) that
+// thread through its job lifecycle events
+// (enqueued/started/finished/cancelled), as text on stderr by default or
+// JSON with -log-json. SIGQUIT dumps the span flight recorder to stderr
+// without stopping the server.
 package main
 
 import (
@@ -55,6 +60,8 @@ func run() error {
 	maxUpload := flag.Int64("max-upload", 64<<20, "largest accepted request body in bytes")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none); exceeded jobs abort within one LOCAL round")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceSample := flag.Float64("trace-sample", 1.0, "head-sampling probability for new traces in [0,1]; negative samples nothing (root spans still flight-record)")
+	traceRing := flag.Int("trace-ring", 4096, "span flight-recorder capacity (rounded up to a power of two)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	flag.Parse()
@@ -79,8 +86,24 @@ func run() error {
 		JobTimeout:       *jobTimeout,
 		Logger:           logger,
 		EnablePprof:      *pprofFlag,
+		TraceSample:      *traceSample,
+		TraceRing:        *traceRing,
 	})
 	defer srv.Close()
+
+	// SIGQUIT dumps the span flight recorder to stderr — the classic "what
+	// is this process doing" signal, answered with recent request spans
+	// instead of (only) goroutine stacks. The process keeps serving.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			logger.Info("SIGQUIT: dumping span flight recorder to stderr")
+			if err := srv.FlightDump(os.Stderr); err != nil {
+				logger.Error("flight dump failed", "err", err)
+			}
+		}
+	}()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -10,6 +10,7 @@
 //	distcolor -gen forests:1000,2 -algo be -a 2 -eps 0.5
 //	distcolor -gen apollonian:100000 -algo planar6 -timeout 2s -progress
 //	distcolor -gen apollonian:100000 -algo planar6 -trace trace.json
+//	distcolor -gen apollonian:100000 -algo planar6 -spans spans.json
 //	distcolor -gen klein:5x9 -algo chromatic
 //	distcolor -load graph.txt -algo gps7
 //	distcolor -list-algos
@@ -24,7 +25,10 @@
 // bounds a run (cancellation lands within one LOCAL round); -progress
 // streams live per-phase round totals and rounds/s + messages/s rates to
 // stderr; -trace writes the run's full round trace (the same TraceReport
-// JSON the server's GET /v1/jobs/{id}/trace returns) to a file.
+// JSON the server's GET /v1/jobs/{id}/trace returns) to a file; -spans
+// writes the run as a span tree in Chrome trace-event JSON — open the file
+// as-is in ui.perfetto.dev. Span IDs are seeded from -seed, so the export
+// is deterministic for a fixed invocation.
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 	"distcolor/internal/density"
 	"distcolor/internal/graph"
 	"distcolor/internal/lower"
+	"distcolor/internal/obs"
 	"distcolor/internal/serve/runcfg"
 )
 
@@ -67,6 +72,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream live phase progress and round/message rates to stderr")
 	traceOut := flag.String("trace", "", "write the run's round trace as JSON to this file")
+	spansOut := flag.String("spans", "", "write the run's span trace as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	verbose := flag.Bool("v", false, "print the per-phase round breakdown")
 	listAlgos := flag.Bool("list-algos", false, "print the registered algorithms with their predicted round bounds (at n=10⁶, Δ=100) and exit")
 	smoke := flag.Bool("smoke", false, "run every registered algorithm on its tiny smoke graph and exit")
@@ -138,9 +144,10 @@ func run() error {
 	}
 	var observe []distcolor.Option
 	var trace *distcolor.RoundTrace
-	if *progress || *traceOut != "" {
-		// One recorder serves both: the progress printer reads its running
-		// totals for live rates, and -trace serializes it at the end.
+	if *progress || *traceOut != "" || *spansOut != "" {
+		// One recorder serves all three: the progress printer reads its
+		// running totals for live rates, -trace serializes it at the end,
+		// and -spans turns its phase wall timing into a span tree.
 		trace = &distcolor.RoundTrace{}
 		observe = append(observe, distcolor.WithTrace(trace))
 	}
@@ -152,9 +159,23 @@ func run() error {
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
+	var rep *distcolor.TraceReport
+	if trace != nil {
+		rep = trace.Report(cfg.Algo)
+	}
+	if *spansOut != "" {
+		// Spans first: the export mints the run's trace ID, which the
+		// -trace report then carries too.
+		if werr := writeSpans(*spansOut, cfg.Algo, *seed, rep, start); werr != nil {
+			if err == nil {
+				return werr
+			}
+			fmt.Fprintln(os.Stderr, "distcolor: writing spans:", werr)
+		}
+	}
 	if *traceOut != "" {
 		// An aborted run still leaves its partial trace: those rounds ran.
-		if werr := writeTrace(*traceOut, trace.Report(cfg.Algo)); werr != nil {
+		if werr := writeTrace(*traceOut, rep); werr != nil {
 			if err == nil {
 				return werr
 			}
@@ -211,6 +232,40 @@ func (p *progressPrinter) observe(e distcolor.PhaseEvent) {
 		float64(rounds-p.lastRounds)/dt.Seconds(),
 		float64(msgs-p.lastMsgs)/dt.Seconds())
 	p.lastRounds, p.lastMsgs = rounds, msgs
+}
+
+// writeSpans exports one CLI run as a Chrome trace-event file: a root
+// span covering the whole run with one engine.<phase> child per timed
+// phase of the trace report, exactly the span tree the server records for
+// a job. The tracer is seeded from -seed, so IDs (and the trace ID
+// stamped onto rep) are deterministic per invocation.
+func writeSpans(path, algo string, seed uint64, rep *distcolor.TraceReport, start time.Time) error {
+	tracer := obs.NewTracer(obs.TracerOptions{Seed: seed})
+	root := tracer.StartRoot("distcolor "+algo, obs.SpanContext{})
+	root.Start = start
+	root.SetAttr("algo", algo)
+	root.SetAttr("rounds", fmt.Sprint(rep.Rounds))
+	root.SetAttr("messages", fmt.Sprint(rep.Messages))
+	for _, p := range rep.Phases {
+		if p.StartUnixNs == 0 || p.EndUnixNs == 0 {
+			continue
+		}
+		tracer.Record(root.Context(), "engine."+p.Phase,
+			time.Unix(0, p.StartUnixNs), time.Unix(0, p.EndUnixNs),
+			obs.Attr{Key: "rounds", Value: fmt.Sprint(p.Rounds)},
+			obs.Attr{Key: "messages", Value: fmt.Sprint(p.Messages)})
+	}
+	root.End()
+	rep.TraceID = root.Trace.String()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tracer.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace serializes a trace report to path as indented JSON — the same

@@ -1,6 +1,9 @@
 package local
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // traceSampleCap bounds the retained per-phase round samples. When a phase
 // exceeds it, the recorder compacts deterministically: it keeps every other
@@ -33,6 +36,13 @@ type tracePhase struct {
 	stride       int
 	samples      []RoundSample
 	shardNs      []int64
+
+	// Wall-clock attribution (informational, nondeterministic like
+	// shardNs): firstNs/lastNs bound the phase's activity, busyNs sums the
+	// charge-to-charge intervals attributed to it (see RoundTrace.charge).
+	firstNs int64
+	lastNs  int64
+	busyNs  int64
 }
 
 // RoundTrace records the execution profile of one run: per-phase round
@@ -50,7 +60,13 @@ type RoundTrace struct {
 	byName map[string]*tracePhase
 	rounds int
 	msgs   int
+	lastT  time.Time
 }
+
+// Begin stamps the trace's wall clock so the first charge's interval is
+// measured from run start rather than from trace construction. Optional:
+// without it the first charged interval is simply unattributed.
+func (t *RoundTrace) Begin() { t.lastT = time.Now() }
 
 func (t *RoundTrace) phase(name string) *tracePhase {
 	if t.byName == nil {
@@ -69,8 +85,22 @@ func (t *RoundTrace) phase(name string) *tracePhase {
 // — including zero-round ones, which still create a phase entry, mirroring
 // Ledger.ByPhase.
 func (t *RoundTrace) charge(phase string, rounds int) {
-	t.phase(phase).rounds += rounds
+	p := t.phase(phase)
+	p.rounds += rounds
 	t.rounds += rounds
+	// Attribute the wall-clock interval since the previous charge (or
+	// Begin) to the charged phase: charges happen at phase boundaries, so
+	// the elapsed time since the last one is the work just charged.
+	now := time.Now()
+	if !t.lastT.IsZero() {
+		ns := now.UnixNano()
+		if p.firstNs == 0 {
+			p.firstNs = t.lastT.UnixNano()
+		}
+		p.lastNs = ns
+		p.busyNs += now.Sub(t.lastT).Nanoseconds()
+	}
+	t.lastT = now
 }
 
 // engineRound records one executed engine round: active nodes going in,
@@ -158,6 +188,14 @@ type PhaseTrace struct {
 	// Shards holds per-shard delivery timings (pooled executions only; the
 	// serial engine path has a single implicit shard and records none).
 	Shards []ShardTrace `json:"shards,omitempty"`
+	// StartUnixNs/EndUnixNs bound the phase's wall-clock activity and
+	// WallNs sums the charge intervals attributed to it. Like shard
+	// timings these are measured, not simulated: informational riders that
+	// vary run-to-run while everything else stays deterministic. Present
+	// only when the trace's clock was started (RoundTrace.Begin).
+	StartUnixNs int64 `json:"start_unix_ns,omitempty"`
+	EndUnixNs   int64 `json:"end_unix_ns,omitempty"`
+	WallNs      int64 `json:"wall_ns,omitempty"`
 }
 
 // TraceReport is the wire form of a completed run's trace — the schema
@@ -177,6 +215,10 @@ type TraceReport struct {
 	// Phases is the per-phase breakdown, ordered like Ledger.ByPhase
 	// (descending rounds, then name).
 	Phases []PhaseTrace `json:"phases"`
+	// TraceID is the distributed-trace ID of the request that ran this
+	// job, when one was active. Assigned by the caller that owns the
+	// span (serve layer / CLI), not by the engine.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Report builds the wire report. Phase order and round totals match
@@ -197,6 +239,9 @@ func (t *RoundTrace) Report(algorithm string) *TraceReport {
 			EngineRounds: p.engineRounds,
 			Messages:     p.messages,
 			MaxActive:    p.maxActive,
+			StartUnixNs:  p.firstNs,
+			EndUnixNs:    p.lastNs,
+			WallNs:       p.busyNs,
 		}
 		if len(p.samples) > 0 {
 			pt.SampleStride = p.stride

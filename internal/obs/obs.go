@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing counter.
@@ -80,6 +81,21 @@ type Histogram struct {
 	buckets [HistogramBuckets + 1]atomic.Int64 // [HistogramBuckets] is +Inf
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+
+	// exemplars holds one recent traced observation per bucket — the
+	// causal link from a latency bucket back to a concrete trace ID,
+	// rendered as OpenMetrics exemplars. last mirrors the most recent
+	// traced observation across all buckets (what /v1/stats surfaces).
+	exemplars [HistogramBuckets + 1]atomic.Pointer[Exemplar]
+	last      atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one concrete traced observation attached to a histogram
+// bucket: the sampled value, the trace that produced it, and when.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	UnixNs  int64
 }
 
 // bucketBound returns the upper bound of finite bucket i in seconds.
@@ -112,6 +128,29 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and attaches it as the exemplar of
+// its bucket (and the histogram's most-recent exemplar), linking the
+// bucket back to the trace that produced the observation. An empty
+// traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	e := &Exemplar{Value: v, TraceID: traceID, UnixNs: time.Now().UnixNano()}
+	h.exemplars[bucketFor(v)].Store(e)
+	h.last.Store(e)
+	h.Observe(v)
+}
+
+// LastExemplar returns the most recent traced observation, if any.
+func (h *Histogram) LastExemplar() (Exemplar, bool) {
+	if e := h.last.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
 }
 
 // Count returns the number of observations.
@@ -363,7 +402,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, s := range f.series {
 			switch {
 			case s.hist != nil:
-				writeHistogram(&b, f.name, s)
+				writeHistogram(&b, f.name, s, false)
 			case s.gfunc != nil:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.gfunc()))
 			case s.fgauge != nil:
@@ -380,8 +419,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram renders one histogram series: cumulative _bucket lines,
-// then _sum and _count.
-func writeHistogram(b *strings.Builder, name string, s *series) {
+// then _sum and _count. With exemplars true (OpenMetrics rendering) each
+// bucket that holds a traced observation carries it as
+// `# {trace_id="…"} value timestamp` — the exposition-level link from a
+// latency bucket to the trace of one request that landed in it.
+func writeHistogram(b *strings.Builder, name string, s *series, exemplars bool) {
 	var cum int64
 	for i := 0; i <= HistogramBuckets; i++ {
 		cum += s.hist.buckets[i].Load()
@@ -389,10 +431,64 @@ func writeHistogram(b *strings.Builder, name string, s *series) {
 		if i < HistogramBuckets {
 			le = strconv.FormatFloat(bucketBound(i), 'g', -1, 64)
 		}
-		fmt.Fprintf(b, "%s_bucket%s %d\n", name, histLabels(s.labels, le), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d", name, histLabels(s.labels, le), cum)
+		if exemplars {
+			if e := s.hist.exemplars[i].Load(); e != nil {
+				fmt.Fprintf(b, " # {trace_id=\"%s\"} %s %d.%03d",
+					escapeLabel(e.TraceID), formatValue(e.Value),
+					e.UnixNs/1e9, e.UnixNs%1e9/1e6)
+			}
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(s.hist.Sum()))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, s.hist.Count())
+}
+
+// WriteOpenMetrics renders every family in the OpenMetrics text format
+// (application/openmetrics-text): same families and values as
+// WritePrometheus, plus histogram-bucket exemplars linking buckets to
+// trace IDs, counter metadata with the `_total` suffix stripped per the
+// OpenMetrics naming rules, and the mandatory `# EOF` terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		meta := f.name
+		if f.kind == kindCounter {
+			meta = strings.TrimSuffix(meta, "_total")
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", meta, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", meta, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s, true)
+			case s.gfunc != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.gfunc()))
+			case s.fgauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.fgauge.Value()))
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // histLabels splices the le label into an existing rendered label set.

@@ -1,0 +1,615 @@
+// trace.go is the obs package's request-scoped span tracer: W3C
+// traceparent propagation, seedable lock-free ID generation, head
+// sampling, and a bounded lock-free ring of finished spans that doubles as
+// an always-on flight recorder. Like the metrics kernel it is dependency-
+// free: the serving tier gets distributed-tracing semantics (trace IDs
+// that survive process hops, Perfetto-loadable exports, exemplar links
+// from histograms back to traces) without a third-party SDK in go.mod.
+//
+// Concurrency contract: a *Span is owned by the goroutine that started it
+// until End; after End it is immutable and published to the ring, where
+// any goroutine may read it. Tracer methods are safe for concurrent use.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-id: 16 bytes, non-zero for valid contexts.
+type TraceID [16]byte
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// ParseTraceID parses 32 lowercase hex characters into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 || !isLowerHex(s) {
+		return id, fmt.Errorf("obs: bad trace id %q: want 32 lowercase hex characters", s)
+	}
+	hex.Decode(id[:], []byte(s))
+	if id.IsZero() {
+		return id, fmt.Errorf("obs: bad trace id %q: all-zero", s)
+	}
+	return id, nil
+}
+
+// SpanID is a W3C parent-id/span-id: 8 bytes, non-zero for valid spans.
+type SpanID [8]byte
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// FlagSampled is the trace-flags bit recording the head-sampling decision.
+const FlagSampled byte = 0x01
+
+// SpanContext is the propagated identity of one span: what travels in a
+// W3C traceparent header, and what child spans need of their parent.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Flags is the raw W3C trace-flags byte. Only FlagSampled is
+	// interpreted; unknown bits are preserved so a parse→render round trip
+	// of a version-00 header is byte-for-byte.
+	Flags byte
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Sampled reports the head-sampling decision carried in Flags.
+func (sc SpanContext) Sampled() bool { return sc.Flags&FlagSampled != 0 }
+
+// Traceparent renders the context as a version-00 W3C traceparent header
+// value: 00-<trace-id>-<span-id>-<flags>.
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	hex.Encode(b[53:55], []byte{sc.Flags})
+	return string(b[:])
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header value per the Trace
+// Context recommendation: version-00 headers must be exactly
+// version "-" trace-id "-" parent-id "-" trace-flags with lowercase hex
+// throughout, non-zero trace and parent IDs, and nothing trailing. Headers
+// with an unknown future version are accepted if their first four fields
+// parse the same way and any extra content is "-"-separated; version "ff"
+// is invalid. The returned context re-renders (Traceparent) byte-for-byte
+// for version-00 inputs.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	if len(h) < 55 {
+		return sc, fmt.Errorf("obs: traceparent %q too short: want at least 55 characters", h)
+	}
+	ver := h[0:2]
+	if !isLowerHex(ver) {
+		return sc, fmt.Errorf("obs: traceparent %q: version is not lowercase hex", h)
+	}
+	if ver == "ff" {
+		return sc, fmt.Errorf("obs: traceparent %q: version ff is forbidden", h)
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, fmt.Errorf("obs: traceparent %q: bad field separators", h)
+	}
+	switch {
+	case len(h) == 55:
+		// The base form, valid for any version.
+	case ver == "00":
+		return sc, fmt.Errorf("obs: traceparent %q: version 00 must be exactly 55 characters", h)
+	case h[55] != '-':
+		return sc, fmt.Errorf("obs: traceparent %q: future-version data must be \"-\"-separated", h)
+	}
+	traceID, err := ParseTraceID(h[3:35])
+	if err != nil {
+		return sc, fmt.Errorf("obs: traceparent %q: %v", h, err)
+	}
+	span := h[36:52]
+	if !isLowerHex(span) {
+		return sc, fmt.Errorf("obs: traceparent %q: parent-id is not lowercase hex", h)
+	}
+	var spanID SpanID
+	hex.Decode(spanID[:], []byte(span))
+	if spanID.IsZero() {
+		return sc, fmt.Errorf("obs: traceparent %q: all-zero parent-id", h)
+	}
+	flags := h[53:55]
+	if !isLowerHex(flags) {
+		return sc, fmt.Errorf("obs: traceparent %q: trace-flags is not lowercase hex", h)
+	}
+	var fb [1]byte
+	hex.Decode(fb[:], []byte(flags))
+	return SpanContext{TraceID: traceID, SpanID: spanID, Flags: fb[0]}, nil
+}
+
+// Attr is one span attribute. Values are strings: the consumers (flight
+// dumps, Chrome trace args, log correlation) all want rendered text, and
+// one shape keeps spans allocation-lean.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanEvent is one timestamped point event inside a span.
+type SpanEvent struct {
+	Name   string `json:"name"`
+	UnixNs int64  `json:"unix_ns"`
+}
+
+// Span is one timed operation in a trace. Start/End pairs delimit it;
+// Parent links it into the request's span tree (zero Parent = root).
+type Span struct {
+	Name   string
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+	Events []SpanEvent
+
+	flags  byte
+	tracer *Tracer
+}
+
+// Context returns the span's propagation context (for child spans and
+// outbound traceparent injection).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.Trace, SpanID: s.ID, Flags: s.flags}
+}
+
+// Sampled reports whether the span's trace passed head sampling.
+func (s *Span) Sampled() bool { return s != nil && s.flags&FlagSampled != 0 }
+
+// SetName renames the span — for names only known late, like an HTTP
+// route pattern resolved during dispatch. Owner goroutine only.
+func (s *Span) SetName(name string) {
+	if s != nil {
+		s.Name = name
+	}
+}
+
+// SetAttr attaches a key/value attribute. Owner goroutine only.
+func (s *Span) SetAttr(key, value string) {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// AddEvent attaches a timestamped point event. Owner goroutine only.
+func (s *Span) AddEvent(name string) {
+	if s != nil {
+		s.Events = append(s.Events, SpanEvent{Name: name, UnixNs: time.Now().UnixNano()})
+	}
+}
+
+// End stamps the span's duration and publishes it to the tracer's ring.
+// The span must not be mutated afterwards. Nil-safe (unsampled children
+// are nil spans and all Span methods no-op on them).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.Start)
+	s.tracer.ring.put(s)
+}
+
+// spanRing is the bounded lock-free flight recorder: a power-of-two slot
+// array with a monotonically increasing cursor. Writers claim a slot with
+// one atomic add and publish the finished span with one atomic store;
+// readers snapshot slot-by-slot with atomic loads. Old spans are simply
+// overwritten — the ring always holds the most recent ≤ size spans.
+type spanRing struct {
+	slots []atomic.Pointer[Span]
+	mask  uint64
+	head  atomic.Uint64
+}
+
+func newSpanRing(size int) *spanRing {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &spanRing{slots: make([]atomic.Pointer[Span], n), mask: uint64(n - 1)}
+}
+
+func (r *spanRing) put(s *Span) {
+	i := r.head.Add(1) - 1
+	r.slots[i&r.mask].Store(s)
+}
+
+// snapshot returns the resident spans ordered by start time (ties broken
+// by span ID so the order is total and stable).
+func (r *spanRing) snapshot() []*Span {
+	out := make([]*Span, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return string(out[i].ID[:]) < string(out[j].ID[:])
+	})
+	return out
+}
+
+// TracerOptions configure a Tracer. The zero value means: sample
+// everything, 4096-span flight recorder, crypto-random ID space.
+type TracerOptions struct {
+	// SampleRate is the head-sampling probability in [0, 1] applied to new
+	// roots (propagated traceparent decisions are honored instead). 0 means
+	// the default of 1.0; pass a negative rate to sample nothing.
+	SampleRate float64
+	// RingSize bounds the flight recorder (rounded up to a power of two;
+	// default 4096 spans).
+	RingSize int
+	// Seed, when non-zero, makes ID generation deterministic — every
+	// trace, span and request ID is a pure function of (Seed, allocation
+	// order). 0 seeds from crypto/rand.
+	Seed uint64
+}
+
+// Tracer creates spans, decides head sampling, and owns the flight
+// recorder ring. All methods are safe for concurrent use.
+type Tracer struct {
+	ring *spanRing
+	rate float64
+	base uint64
+	seq  atomic.Uint64
+}
+
+// NewTracer builds a tracer from opts (see TracerOptions for defaults).
+func NewTracer(opts TracerOptions) *Tracer {
+	rate := opts.SampleRate
+	switch {
+	case rate == 0:
+		rate = 1
+	case rate < 0:
+		rate = 0
+	case rate > 1:
+		rate = 1
+	}
+	size := opts.RingSize
+	if size <= 0 {
+		size = 4096
+	}
+	base := opts.Seed
+	if base == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is unheard of; fall back to the clock
+			// rather than take the tracer down with it.
+			base = uint64(time.Now().UnixNano())
+		} else {
+			base = binary.LittleEndian.Uint64(b[:])
+		}
+	}
+	return &Tracer{ring: newSpanRing(size), rate: rate, base: base}
+}
+
+// splitmix64 is the ID mixer: a bijection on uint64, so distinct counter
+// values always yield distinct IDs, and a fixed seed yields a fixed,
+// test-assertable ID sequence.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextID draws one non-zero 64-bit ID.
+func (t *Tracer) nextID() uint64 {
+	for {
+		if id := splitmix64(t.base ^ t.seq.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// RequestID draws a globally unique 16-hex-character request ID from the
+// same seeded ID space as trace and span IDs — unlike a restart-colliding
+// sequence number, IDs from different replicas or process generations
+// never repeat (up to the 64-bit birthday bound).
+func (t *Tracer) RequestID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], t.nextID())
+	return hex.EncodeToString(b[:])
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[0:8], t.nextID())
+	binary.BigEndian.PutUint64(id[8:16], t.nextID())
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], t.nextID())
+	return id
+}
+
+// sampleHead is the head-sampling coin flip, deterministic in the drawn
+// ID so a seeded tracer makes reproducible decisions.
+func (t *Tracer) sampleHead(id uint64) bool {
+	if t.rate >= 1 {
+		return true
+	}
+	if t.rate <= 0 {
+		return false
+	}
+	return float64(id>>11)/float64(1<<53) < t.rate
+}
+
+// spanCtxKey carries the active *Span through a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the active span in ctx, nil when none (or when
+// the active span is an unsampled nil span).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartRoot opens a request's root span. A valid inbound SpanContext
+// (from ParseTraceparent) is continued — same trace ID, inbound span as
+// parent, inbound sampling decision honored; otherwise a fresh trace is
+// started and head sampling decides its fate. The root span is always
+// recorded to the flight ring on End, sampled or not: the flight recorder
+// stays populated even at -trace-sample 0.
+func (t *Tracer) StartRoot(name string, inbound SpanContext) *Span {
+	s := &Span{Name: name, Start: time.Now(), tracer: t}
+	if inbound.Valid() {
+		s.Trace = inbound.TraceID
+		s.Parent = inbound.SpanID
+		s.flags = inbound.Flags
+	} else {
+		s.Trace = t.newTraceID()
+		if t.sampleHead(binary.BigEndian.Uint64(s.Trace[0:8])) {
+			s.flags = FlagSampled
+		}
+	}
+	s.ID = t.newSpanID()
+	return s
+}
+
+// StartSpan opens a child of the context's active span, returning a
+// derived context carrying the child. With no sampled span in ctx the
+// original context and a nil span come back — every Span method is
+// nil-safe, so call sites need no conditionals.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := t.StartChild(SpanFromContext(ctx).Context(), name)
+	if s == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartChild opens a span under parent. Unsampled or invalid parents get
+// a nil span — every Span method is nil-safe, so callers need no checks,
+// and unsampled requests pay one branch instead of an allocation.
+func (t *Tracer) StartChild(parent SpanContext, name string) *Span {
+	if !parent.Valid() || !parent.Sampled() {
+		return nil
+	}
+	return &Span{
+		Name:   name,
+		Trace:  parent.TraceID,
+		ID:     t.newSpanID(),
+		Parent: parent.SpanID,
+		Start:  time.Now(),
+		flags:  parent.Flags,
+		tracer: t,
+	}
+}
+
+// Record manufactures an already-finished span from externally measured
+// boundaries — the shape of cross-goroutine intervals like queue wait
+// (enqueue on the request goroutine, start on a worker) and engine phases
+// reconstructed from a run's RoundTrace. The span is published
+// immediately; its context is returned so further retro-spans can nest
+// under it. Unsampled and invalid parents record nothing.
+func (t *Tracer) Record(parent SpanContext, name string, start, end time.Time, attrs ...Attr) SpanContext {
+	if !parent.Valid() || !parent.Sampled() {
+		return SpanContext{}
+	}
+	s := &Span{
+		Name:   name,
+		Trace:  parent.TraceID,
+		ID:     t.newSpanID(),
+		Parent: parent.SpanID,
+		Start:  start,
+		Dur:    end.Sub(start),
+		Attrs:  attrs,
+		flags:  parent.Flags,
+		tracer: t,
+	}
+	t.ring.put(s)
+	return s.Context()
+}
+
+// Spans snapshots the flight recorder: the most recent finished spans
+// (bounded by the ring size), ordered by start time.
+func (t *Tracer) Spans() []*Span { return t.ring.snapshot() }
+
+// TraceSpans returns the recorded spans of one trace, ordered by start
+// time. Bounded by the ring: spans of old traces age out.
+func (t *Tracer) TraceSpans(id TraceID) []*Span {
+	all := t.ring.snapshot()
+	out := all[:0]
+	for _, s := range all {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---- export ----
+
+// spanJSON is the native wire form of one span (GET /v1/traces/{id} and
+// /debug/flight).
+type spanJSON struct {
+	TraceID     string      `json:"trace_id"`
+	SpanID      string      `json:"span_id"`
+	ParentID    string      `json:"parent_id,omitempty"`
+	Name        string      `json:"name"`
+	StartUnixNs int64       `json:"start_unix_ns"`
+	DurNs       int64       `json:"dur_ns"`
+	Sampled     bool        `json:"sampled,omitempty"`
+	Attrs       []Attr      `json:"attrs,omitempty"`
+	Events      []SpanEvent `json:"events,omitempty"`
+}
+
+func toSpanJSON(s *Span) spanJSON {
+	out := spanJSON{
+		TraceID:     s.Trace.String(),
+		SpanID:      s.ID.String(),
+		Name:        s.Name,
+		StartUnixNs: s.Start.UnixNano(),
+		DurNs:       int64(s.Dur),
+		Sampled:     s.Sampled(),
+		Attrs:       s.Attrs,
+		Events:      s.Events,
+	}
+	if !s.Parent.IsZero() {
+		out.ParentID = s.Parent.String()
+	}
+	return out
+}
+
+// WriteSpansJSON writes spans in the native JSON form:
+// {"spans":[{trace_id, span_id, parent_id, name, start_unix_ns, dur_ns,
+// attrs, events}, …]}.
+func WriteSpansJSON(w io.Writer, spans []*Span) error {
+	out := struct {
+		Spans []spanJSON `json:"spans"`
+	}{Spans: make([]spanJSON, len(spans))}
+	for i, s := range spans {
+		out.Spans[i] = toSpanJSON(s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// chromeEvent is one Chrome trace-event (the JSON Perfetto and
+// chrome://tracing load). Complete events ("X") carry ts+dur in
+// microseconds; metadata events ("M") name the synthetic threads.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes spans as Chrome trace-event JSON, loadable
+// as-is in ui.perfetto.dev (or chrome://tracing). Every trace gets its
+// own synthetic thread, named after the trace ID, so one request's span
+// tree renders as one nested lane; span identity and attributes travel in
+// args.
+func WriteChromeTrace(w io.Writer, spans []*Span) error {
+	tidByTrace := map[TraceID]int{}
+	var events []chromeEvent
+	for _, s := range spans {
+		tid, ok := tidByTrace[s.Trace]
+		if !ok {
+			tid = len(tidByTrace) + 1
+			tidByTrace[s.Trace] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  1,
+				Tid:  tid,
+				Args: map[string]string{"name": "trace " + s.Trace.String()},
+			})
+		}
+		args := map[string]string{
+			"trace_id": s.Trace.String(),
+			"span_id":  s.ID.String(),
+		}
+		if !s.Parent.IsZero() {
+			args["parent_id"] = s.Parent.String()
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   float64(s.Start.UnixNano()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+		for _, e := range s.Events {
+			events = append(events, chromeEvent{
+				Name: e.Name,
+				Cat:  "event",
+				Ph:   "i",
+				Ts:   float64(e.UnixNs) / 1e3,
+				Pid:  1,
+				Tid:  tid,
+			})
+		}
+	}
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// TraceIDFromHex is a forgiving parse for URL path segments: it accepts
+// the canonical 32-hex form and rejects everything else with a helpful
+// error. (Alias of ParseTraceID; the name documents intent at call sites.)
+func TraceIDFromHex(s string) (TraceID, error) { return ParseTraceID(strings.ToLower(s)) }

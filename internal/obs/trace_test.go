@@ -1,0 +1,404 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceparentConformance is the W3C Trace Context conformance table:
+// every vector the recommendation calls out — base version-00 forms,
+// future-version tolerance, and each malformation class — parsed and
+// checked against the expected verdict.
+func TestTraceparentConformance(t *testing.T) {
+	const (
+		trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+		span  = "00f067aa0ba902b7"
+	)
+	cases := []struct {
+		name    string
+		header  string
+		ok      bool
+		sampled bool
+		flags   byte
+	}{
+		{"sampled", "00-" + trace + "-" + span + "-01", true, true, 0x01},
+		{"unsampled", "00-" + trace + "-" + span + "-00", true, false, 0x00},
+		{"unknown flag bits preserved", "00-" + trace + "-" + span + "-ff", true, true, 0xff},
+		{"unknown flags unsampled", "00-" + trace + "-" + span + "-fe", true, false, 0xfe},
+		{"future version base form", "cc-" + trace + "-" + span + "-01", true, true, 0x01},
+		{"future version with suffix", "cc-" + trace + "-" + span + "-01-extra-data", true, true, 0x01},
+		{"version ff forbidden", "ff-" + trace + "-" + span + "-01", false, false, 0},
+		{"version not hex", "0x-" + trace + "-" + span + "-01", false, false, 0},
+		{"version uppercase", "0A-" + trace + "-" + span + "-01", false, false, 0},
+		{"too short", "00-" + trace + "-" + span + "-0", false, false, 0},
+		{"empty", "", false, false, 0},
+		{"version 00 with trailing data", "00-" + trace + "-" + span + "-01-extra", false, false, 0},
+		{"future version suffix not dash-separated", "cc-" + trace + "-" + span + "-01extra", false, false, 0},
+		{"all-zero trace id", "00-00000000000000000000000000000000-" + span + "-01", false, false, 0},
+		{"all-zero parent id", "00-" + trace + "-0000000000000000-01", false, false, 0},
+		{"uppercase trace id", "00-" + strings.ToUpper(trace) + "-" + span + "-01", false, false, 0},
+		{"uppercase parent id", "00-" + trace + "-" + strings.ToUpper(span) + "-01", false, false, 0},
+		{"non-hex flags", "00-" + trace + "-" + span + "-0g", false, false, 0},
+		{"wrong separators", "00_" + trace + "_" + span + "_01", false, false, 0},
+		{"trace id too long", "00-" + trace + "ab-" + span + "-01", false, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := ParseTraceparent(tc.header)
+			if tc.ok != (err == nil) {
+				t.Fatalf("ParseTraceparent(%q) err = %v, want ok=%v", tc.header, err, tc.ok)
+			}
+			if !tc.ok {
+				return
+			}
+			if !sc.Valid() {
+				t.Fatalf("ParseTraceparent(%q): invalid context from accepting parse", tc.header)
+			}
+			if sc.Sampled() != tc.sampled {
+				t.Errorf("Sampled() = %v, want %v", sc.Sampled(), tc.sampled)
+			}
+			if sc.Flags != tc.flags {
+				t.Errorf("Flags = %#02x, want %#02x", sc.Flags, tc.flags)
+			}
+			if got := sc.TraceID.String(); got != trace {
+				t.Errorf("TraceID = %s, want %s", got, trace)
+			}
+			if got := sc.SpanID.String(); got != span {
+				t.Errorf("SpanID = %s, want %s", got, span)
+			}
+		})
+	}
+}
+
+// TestTraceparentRoundTrip: a valid version-00 header must re-render
+// byte-for-byte, whatever its flags byte — including flag bits this
+// implementation does not interpret.
+func TestTraceparentRoundTrip(t *testing.T) {
+	headers := []string{
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-ff",
+		"00-00000000000000000000000000000001-0000000000000001-7e",
+	}
+	for _, h := range headers {
+		sc, err := ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q): %v", h, err)
+		}
+		if got := sc.Traceparent(); got != h {
+			t.Errorf("round trip of %q produced %q", h, got)
+		}
+	}
+}
+
+// TestSeededTracerDeterministic: with a fixed seed, every drawn ID is a
+// pure function of allocation order — two tracers with the same seed
+// produce identical sequences, a different seed diverges.
+func TestSeededTracerDeterministic(t *testing.T) {
+	a := NewTracer(TracerOptions{Seed: 42})
+	b := NewTracer(TracerOptions{Seed: 42})
+	c := NewTracer(TracerOptions{Seed: 43})
+	var seq []string
+	for i := 0; i < 8; i++ {
+		ra, rb, rc := a.RequestID(), b.RequestID(), c.RequestID()
+		if ra != rb {
+			t.Fatalf("draw %d: same seed diverged: %s vs %s", i, ra, rb)
+		}
+		if ra == rc {
+			t.Fatalf("draw %d: different seeds collided on %s", i, ra)
+		}
+		seq = append(seq, ra)
+	}
+	for i := range seq {
+		for j := i + 1; j < len(seq); j++ {
+			if seq[i] == seq[j] {
+				t.Fatalf("request IDs %d and %d collided: %s", i, j, seq[i])
+			}
+		}
+	}
+	ra := a.StartRoot("x", SpanContext{})
+	rb := b.StartRoot("x", SpanContext{})
+	if ra.Trace != rb.Trace || ra.ID != rb.ID {
+		t.Fatalf("same-seed roots diverged: %s/%s vs %s/%s", ra.Trace, ra.ID, rb.Trace, rb.ID)
+	}
+}
+
+// TestSpanLifecycle covers the span-tree mechanics end to end: root,
+// context-threaded children, propagation continuity, and ring recording.
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 7, RingSize: 64})
+	root := tr.StartRoot("http", SpanContext{})
+	if !root.Sampled() {
+		t.Fatal("default tracer must sample everything")
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx, child := tr.StartSpan(ctx, "store")
+	if child == nil || child.Trace != root.Trace || child.Parent != root.ID {
+		t.Fatalf("child not linked under root: %+v", child)
+	}
+	_, grand := tr.StartSpan(ctx, "parse")
+	if grand.Parent != child.ID {
+		t.Fatalf("grandchild parent = %s, want %s", grand.Parent, child.ID)
+	}
+	grand.End()
+	child.End()
+	sc := tr.Record(root.Context(), "queue.wait",
+		time.Now().Add(-time.Millisecond), time.Now(), Attr{Key: "job", Value: "j1"})
+	if !sc.Valid() || sc.TraceID != root.Trace {
+		t.Fatalf("Record returned invalid or foreign context: %+v", sc)
+	}
+	root.End()
+	spans := tr.TraceSpans(root.Trace)
+	if len(spans) != 4 {
+		t.Fatalf("TraceSpans: %d spans, want 4", len(spans))
+	}
+}
+
+// TestUnsampledSpans: a never-sampling tracer still flight-records roots
+// (the always-on recorder contract), while children and retro-records of
+// unsampled parents are free no-ops on nil spans.
+func TestUnsampledSpans(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 9, SampleRate: -1})
+	root := tr.StartRoot("http", SpanContext{})
+	if root.Sampled() {
+		t.Fatal("negative sample rate must sample nothing")
+	}
+	child := tr.StartChild(root.Context(), "store")
+	if child != nil {
+		t.Fatal("unsampled parent must yield a nil child")
+	}
+	// Every Span method must be nil-safe.
+	child.SetName("x")
+	child.SetAttr("k", "v")
+	child.AddEvent("e")
+	child.End()
+	if sc := tr.Record(root.Context(), "w", time.Now(), time.Now()); sc.Valid() {
+		t.Fatal("Record under an unsampled parent must record nothing")
+	}
+	root.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("flight ring holds %d spans, want 1 (the unsampled root)", got)
+	}
+	// An inbound sampled decision overrides the local rate.
+	inbound, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	cont := tr.StartRoot("http", inbound)
+	if !cont.Sampled() || cont.Trace != inbound.TraceID || cont.Parent != inbound.SpanID {
+		t.Fatalf("inbound continuation broken: %+v", cont)
+	}
+}
+
+// TestSpanRingConcurrency hammers the flight ring from writers and
+// snapshot readers at once — the lock-free contract, checked under -race
+// by the race CI lane. The ring must end bounded and every resident span
+// intact.
+func TestSpanRingConcurrency(t *testing.T) {
+	const (
+		writers  = 8
+		perG     = 400
+		ringSize = 128
+	)
+	tr := NewTracer(TracerOptions{RingSize: ringSize})
+	var writersWG, readersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range tr.Spans() {
+					if s.Name == "" || s.Trace.IsZero() {
+						t.Error("snapshot observed a half-published span")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < perG; i++ {
+				root := tr.StartRoot("req", SpanContext{})
+				child := tr.StartChild(root.Context(), "work")
+				child.End()
+				tr.Record(root.Context(), "retro", time.Now(), time.Now())
+				root.End()
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+	if got := len(tr.Spans()); got > ringSize {
+		t.Fatalf("ring snapshot has %d spans, bound is %d", got, ringSize)
+	}
+}
+
+// TestChromeTraceGolden pins the Perfetto export byte-for-byte on a fixed
+// span tree: thread metadata first, complete events with µs timestamps,
+// identity and attributes in args. Loadability in ui.perfetto.dev was
+// verified by hand against exactly this shape.
+func TestChromeTraceGolden(t *testing.T) {
+	trace := TraceID{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36}
+	rootID := SpanID{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7}
+	childID := SpanID{0x05, 0x3a, 0xc1, 0x3d, 0x11, 0x22, 0x33, 0x44}
+	base := time.Unix(1700000000, 0).UTC()
+	spans := []*Span{
+		{
+			Name:  "HTTP POST /v1/jobs",
+			Trace: trace,
+			ID:    rootID,
+			Start: base,
+			Dur:   1500 * time.Microsecond,
+			Attrs: []Attr{{Key: "code", Value: "202"}},
+			Events: []SpanEvent{
+				{Name: "enqueued", UnixNs: base.Add(200 * time.Microsecond).UnixNano()},
+			},
+		},
+		{
+			Name:   "job.run",
+			Trace:  trace,
+			ID:     childID,
+			Parent: rootID,
+			Start:  base.Add(250 * time.Microsecond),
+			Dur:    1000 * time.Microsecond,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "traceEvents": [
+    {
+      "name": "thread_name",
+      "ph": "M",
+      "ts": 0,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "name": "trace 4bf92f3577b34da6a3ce929d0e0e4736"
+      }
+    },
+    {
+      "name": "HTTP POST /v1/jobs",
+      "cat": "span",
+      "ph": "X",
+      "ts": 1700000000000000,
+      "dur": 1500,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "code": "202",
+        "span_id": "00f067aa0ba902b7",
+        "trace_id": "4bf92f3577b34da6a3ce929d0e0e4736"
+      }
+    },
+    {
+      "name": "enqueued",
+      "cat": "event",
+      "ph": "i",
+      "ts": 1700000000000200,
+      "pid": 1,
+      "tid": 1
+    },
+    {
+      "name": "job.run",
+      "cat": "span",
+      "ph": "X",
+      "ts": 1700000000000250,
+      "dur": 1000,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "parent_id": "00f067aa0ba902b7",
+        "span_id": "053ac13d11223344",
+        "trace_id": "4bf92f3577b34da6a3ce929d0e0e4736"
+      }
+    }
+  ],
+  "displayTimeUnit": "ms"
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("chrome trace export drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSpansJSONExport sanity-checks the native span JSON wire form.
+func TestSpansJSONExport(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 5})
+	root := tr.StartRoot("r", SpanContext{})
+	child := tr.StartChild(root.Context(), "c")
+	child.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := WriteSpansJSON(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"trace_id": "` + root.Trace.String() + `"`,
+		`"parent_id": "` + root.ID.String() + `"`,
+		`"name": "c"`,
+		`"sampled": true`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spans JSON missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestOpenMetricsExemplars: the OpenMetrics rendering must strip the
+// counter metadata's _total suffix, attach trace-ID exemplars to the
+// histogram buckets that saw traced observations, and terminate with
+// # EOF — while the 0.0.4 Prometheus rendering stays exemplar-free so
+// legacy scrapers keep parsing.
+func TestOpenMetricsExemplars(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests.", nil)
+	c.Inc()
+	h := reg.Histogram("test_seconds", "Latency.", nil)
+	h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(0.25, "") // untraced: counts, no exemplar update for it
+
+	var om bytes.Buffer
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output must end with # EOF:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE test_requests counter") {
+		t.Errorf("counter metadata must strip _total:\n%s", out)
+	}
+	if !strings.Contains(out, "test_requests_total 1") {
+		t.Errorf("counter sample keeps the full name:\n%s", out)
+	}
+	if !strings.Contains(out, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.5 `) {
+		t.Errorf("histogram bucket missing exemplar:\n%s", out)
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prom.String(), "# {") || strings.Contains(prom.String(), "# EOF") {
+		t.Errorf("Prometheus 0.0.4 rendering must stay exemplar-free:\n%s", prom.String())
+	}
+
+	if e, ok := h.LastExemplar(); !ok || e.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || e.Value != 0.5 {
+		t.Errorf("LastExemplar = %+v, %v; want the traced 0.5 observation", e, ok)
+	}
+}

@@ -25,9 +25,11 @@ func BenchmarkServeThroughput(b *testing.B) {
 }
 
 // BenchmarkServeThroughputObs is the same workload through the production
-// default: request middleware (IDs, latency histograms, request counters)
-// and per-job round tracing all on. `make bench-obs` gates it within 5% of
-// the no-op twin.
+// default: request middleware (IDs, root spans with inbound traceparent
+// parsing and outbound injection, latency histograms with exemplars,
+// request counters), span recording into the flight ring, and per-job
+// round tracing all on. `make bench-obs` gates it within 5% of the no-op
+// twin, so the whole tracing path is CI-bounded.
 func BenchmarkServeThroughputObs(b *testing.B) {
 	benchThroughput(b, false, func(i int) uint64 { return 1 })
 }
@@ -66,7 +68,17 @@ func benchThroughput(b *testing.B, noObs bool, seedFor func(int) uint64) {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
 	post := func(seed uint64) error {
 		body, _ := json.Marshal(map[string]any{"graph": gj.ID, "algo": "planar6", "seed": seed})
-		resp, err := client.Post(ts.URL+"/v1/jobs?wait=true&timeout=60s", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=true&timeout=60s", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if !noObs {
+			// Exercise the full propagation path: inbound parse, trace
+			// continuation, outbound injection.
+			req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			return err
 		}

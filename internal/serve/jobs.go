@@ -11,6 +11,7 @@ import (
 
 	"distcolor"
 	"distcolor/internal/graph"
+	"distcolor/internal/obs"
 	"distcolor/internal/serve/runcfg"
 )
 
@@ -41,8 +42,14 @@ type Job struct {
 	// the structured-log lifecycle events so a job's whole history joins
 	// back to one request ID. Coalesced duplicates keep the creator's ID.
 	ReqID string
-	key   string       // coalescing identity: graph + canonical config
-	g     *graph.Graph // pinned at submit so LRU eviction can't race the run
+	// TraceID is the creating request's trace ID (empty when the job was
+	// submitted with observation off), and span is that request's root span
+	// context — the parent the worker hangs queue-wait, run and engine
+	// spans under. Like ReqID, coalesced duplicates keep the creator's.
+	TraceID string
+	span    obs.SpanContext
+	key     string       // coalescing identity: graph + canonical config
+	g       *graph.Graph // pinned at submit so LRU eviction can't race the run
 
 	// ctx is cancelled by DELETE /v1/jobs/{id} and by client-disconnect
 	// abort; the run observes it cooperatively (within one LOCAL round).
@@ -227,10 +234,10 @@ func jobKey(graphID string, cfg runcfg.Config) string {
 // Intern returns the job for (graphID, cfg): an existing queued, running or
 // successfully-done job with the same identity (coalesced=true), or a fresh
 // queued job registered under a new ID and stamped with the creating
-// request's reqID. Failed and cancelled jobs are not coalesced against, so
-// a retry re-executes. When fresh is set, coalescing is bypassed and a new
-// job is always minted.
-func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, fresh bool, reqID string) (job *Job, coalesced bool) {
+// request's reqID and root span context. Failed and cancelled jobs are not
+// coalesced against, so a retry re-executes. When fresh is set, coalescing
+// is bypassed and a new job is always minted.
+func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, fresh bool, reqID string, span obs.SpanContext) (job *Job, coalesced bool) {
 	key := jobKey(graphID, cfg)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -249,6 +256,7 @@ func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, 
 		GraphID:  graphID,
 		Cfg:      cfg,
 		ReqID:    reqID,
+		span:     span,
 		key:      key,
 		g:        g,
 		ctx:      ctx,
@@ -256,6 +264,9 @@ func (r *JobRegistry) Intern(graphID string, g *graph.Graph, cfg runcfg.Config, 
 		done:     make(chan struct{}),
 		status:   StatusQueued,
 		enqueued: time.Now(),
+	}
+	if span.Valid() {
+		j.TraceID = span.TraceID.String()
 	}
 	j.refs.Store(1)
 	r.byID[j.ID] = j

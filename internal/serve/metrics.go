@@ -24,6 +24,11 @@ type serveMetrics struct {
 	engineMessages *obs.Counter
 	shardImbalance *obs.FloatGauge
 
+	// queueWait is the admission→start wait distribution — the latency a
+	// job spends owned by the scheduler before a worker picks it up, the
+	// quantity queue-depth gauges only hint at.
+	queueWait *obs.Histogram
+
 	// httpReqs/httpLat cache the per-endpoint series so the request path
 	// pays an RLock'd map hit instead of the registry's label rendering.
 	mu       sync.RWMutex
@@ -41,6 +46,8 @@ func newServeMetrics() *serveMetrics {
 			"Point-to-point messages delivered across all jobs.", nil),
 		shardImbalance: reg.FloatGauge("distcolor_engine_shard_imbalance",
 			"Max-over-mean per-shard delivery time of the last traced parallel run (1 = balanced).", nil),
+		queueWait: reg.Histogram("distcolor_job_queue_wait_seconds",
+			"Job wait between queue admission and run start.", nil),
 		httpReqs: map[string]*obs.Counter{},
 		httpLat:  map[string]*obs.Histogram{},
 	}
@@ -84,8 +91,9 @@ func (m *serveMetrics) wire(s *Server) {
 
 // observeHTTP records one served request into the per-endpoint latency
 // histogram and the (endpoint, code) request counter, creating the series
-// on first sight of the pair.
-func (m *serveMetrics) observeHTTP(endpoint string, code int, seconds float64) {
+// on first sight of the pair. A non-empty traceID rides along as the
+// bucket's OpenMetrics exemplar (pass "" for unsampled requests).
+func (m *serveMetrics) observeHTTP(endpoint string, code int, seconds float64, traceID string) {
 	key := endpoint + " " + strconv.Itoa(code)
 	m.mu.RLock()
 	h, c := m.httpLat[endpoint], m.httpReqs[key]
@@ -105,6 +113,6 @@ func (m *serveMetrics) observeHTTP(endpoint string, code int, seconds float64) {
 		}
 		m.mu.Unlock()
 	}
-	h.Observe(seconds)
+	h.ObserveExemplar(seconds, traceID)
 	c.Inc()
 }

@@ -38,11 +38,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"distcolor"
 	"distcolor/internal/graph"
+	"distcolor/internal/obs"
 	"distcolor/internal/serve/runcfg"
 )
 
@@ -74,6 +74,16 @@ type Options struct {
 	// own mux. Off by default: the profiler is a diagnostic surface, not
 	// part of the public API.
 	EnablePprof bool
+	// TraceSample is the head-sampling probability for new traces: 0 means
+	// the default of 1.0 (sample everything), negative samples nothing.
+	// Root spans are always flight-recorded regardless of the decision, so
+	// GET /debug/flight stays useful even at -trace-sample 0.
+	TraceSample float64
+	// TraceRing bounds the span flight recorder (default 4096 spans).
+	TraceRing int
+	// TraceSeed, when non-zero, makes trace/span/request IDs a pure
+	// function of allocation order — deterministic tests and exports.
+	TraceSeed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -108,7 +118,7 @@ type Server struct {
 	metrics *serveMetrics
 	log     *slog.Logger
 	mux     *http.ServeMux
-	reqSeq  atomic.Int64 // request-ID source (r1, r2, …)
+	tracer  *obs.Tracer
 
 	// submitMu makes intern→enqueue→rollback one atomic step (see
 	// submitJobs); without it a 429 rollback could release a job another
@@ -140,6 +150,11 @@ func New(opts Options) *Server {
 		metrics: metrics,
 		log:     opts.Logger,
 		mux:     http.NewServeMux(),
+		tracer: obs.NewTracer(obs.TracerOptions{
+			SampleRate: opts.TraceSample,
+			RingSize:   opts.TraceRing,
+			Seed:       opts.TraceSeed,
+		}),
 	}
 	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
 	metrics.wire(s)
@@ -151,8 +166,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTraceSpans)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -201,18 +218,27 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// ServeHTTP implements http.Handler: it assigns the request an ID, times
-// the dispatch, and records (endpoint, code, latency) into the metrics
-// registry and the structured log. The endpoint label is the mux pattern
-// that matched ("GET /v1/jobs/{id}"), never the raw path, so cardinality
-// stays bounded by the route table.
+// ServeHTTP implements http.Handler: it assigns the request a globally
+// unique ID, opens the request's root span — continuing an inbound W3C
+// traceparent header when one arrives, minting a fresh trace otherwise —
+// times the dispatch, and records (endpoint, code, latency) into the
+// metrics registry and the structured log, every log record carrying both
+// IDs for log↔trace correlation. The outbound traceparent header is set
+// before dispatch so even error responses carry the trace identity back
+// to the caller. The endpoint label is the mux pattern that matched
+// ("GET /v1/jobs/{id}"), never the raw path, so cardinality stays bounded
+// by the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.noObs {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
-	reqID := fmt.Sprintf("r%d", s.reqSeq.Add(1))
-	r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, reqID))
+	reqID := s.tracer.RequestID()
+	inbound, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	root := s.tracer.StartRoot("HTTP", inbound)
+	ctx := obs.ContextWithSpan(r.Context(), root)
+	r = r.WithContext(context.WithValue(ctx, reqIDKey{}, reqID))
+	w.Header().Set("Traceparent", root.Context().Traceparent())
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
@@ -224,9 +250,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if endpoint == "" {
 		endpoint = "unmatched"
 	}
-	s.metrics.observeHTTP(endpoint, sw.code, elapsed.Seconds())
+	root.SetName("HTTP " + endpoint)
+	root.SetAttr("req", reqID)
+	root.SetAttr("method", r.Method)
+	root.SetAttr("path", r.URL.Path)
+	root.SetAttr("code", strconv.Itoa(sw.code))
+	root.End()
+	var exemplar string
+	if root.Sampled() {
+		exemplar = root.Trace.String()
+	}
+	s.metrics.observeHTTP(endpoint, sw.code, elapsed.Seconds(), exemplar)
 	s.log.Info("http request",
-		"req", reqID, "method", r.Method, "path", r.URL.Path,
+		"req", reqID, "trace", root.Trace.String(),
+		"method", r.Method, "path", r.URL.Path,
 		"endpoint", endpoint, "code", sw.code,
 		"ms", float64(elapsed)/float64(time.Millisecond))
 }
@@ -245,14 +282,33 @@ func (s *Server) execute(j *Job) {
 	if !j.tryStart() {
 		return
 	}
-	s.log.Info("job started", "req", j.ReqID, "job", j.ID,
-		"algo", j.Cfg.Algo, "graph", j.GraphID)
+	started := j.Snapshot()
+	wait := started.Started.Sub(started.Enqueued)
+	if !s.noObs {
+		// Queue wait crosses goroutines (enqueue on the request goroutine,
+		// start here on a worker), so the span is recorded retroactively from
+		// the measured boundaries rather than held open across the hop.
+		var exemplar string
+		if j.span.Sampled() {
+			exemplar = j.TraceID
+		}
+		s.metrics.queueWait.ObserveExemplar(wait.Seconds(), exemplar)
+		s.tracer.Record(j.span, "queue.wait", started.Enqueued, started.Started,
+			obs.Attr{Key: "job", Value: j.ID})
+	}
+	s.log.Info("job started", "req", j.ReqID, "trace", j.TraceID, "job", j.ID,
+		"algo", j.Cfg.Algo, "graph", j.GraphID,
+		"queue_ms", float64(wait)/float64(time.Millisecond))
 	ctx := j.Context()
 	if s.opts.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
 		defer cancel()
 	}
+	runSpan := s.tracer.StartChild(j.span, "job.run")
+	runSpan.SetAttr("job", j.ID)
+	runSpan.SetAttr("algo", j.Cfg.Algo)
+	runSpan.SetAttr("graph", j.GraphID)
 	var extra []distcolor.Option
 	var tr *distcolor.RoundTrace
 	if !s.noObs {
@@ -268,18 +324,35 @@ func (s *Server) execute(j *Job) {
 		// Done can fetch /v1/jobs/{id}/trace immediately. Aborted runs keep
 		// their partial trace — the rounds were executed and paid for.
 		rep := tr.Report(j.Cfg.Algo)
+		rep.TraceID = j.TraceID
 		j.setTrace(rep)
 		s.metrics.engineRounds.Add(int64(rep.Rounds))
 		s.metrics.engineMessages.Add(int64(rep.Messages))
 		if rep.ShardImbalance > 0 {
 			s.metrics.shardImbalance.Set(rep.ShardImbalance)
 		}
+		runSpan.SetAttr("rounds", strconv.Itoa(rep.Rounds))
+		runSpan.SetAttr("messages", strconv.Itoa(rep.Messages))
+		// Engine phases as retro-spans under the run, from the trace's
+		// wall-clock attribution. Timing-less phases (clock never started,
+		// e.g. zero-work runs) record nothing.
+		runCtx := runSpan.Context()
+		for _, p := range rep.Phases {
+			if p.StartUnixNs == 0 || p.EndUnixNs == 0 {
+				continue
+			}
+			s.tracer.Record(runCtx, "engine."+p.Phase,
+				time.Unix(0, p.StartUnixNs), time.Unix(0, p.EndUnixNs),
+				obs.Attr{Key: "rounds", Value: strconv.Itoa(p.Rounds)},
+				obs.Attr{Key: "messages", Value: strconv.Itoa(p.Messages)})
+		}
 	}
+	runSpan.End()
 	j.finish(res, err)
 	s.jobs.markTerminal(j)
 	s.recordTerminal(j)
 	v := j.Snapshot()
-	s.log.Info("job finished", "req", j.ReqID, "job", j.ID,
+	s.log.Info("job finished", "req", j.ReqID, "trace", j.TraceID, "job", j.ID,
 		"status", string(v.Status), "err", v.Err,
 		"run_ms", float64(v.Finished.Sub(v.Started))/float64(time.Millisecond))
 }
@@ -294,7 +367,11 @@ func (s *Server) recordTerminal(j *Job) {
 		return
 	}
 	v := j.Snapshot()
-	s.stats.jobFinished(v.Finished.Sub(v.Enqueued), v.Status)
+	var exemplar string
+	if j.span.Sampled() {
+		exemplar = j.TraceID
+	}
+	s.stats.jobFinished(v.Finished.Sub(v.Enqueued), v.Status, exemplar)
 }
 
 // ---- wire types ----
@@ -347,6 +424,7 @@ type jobJSON struct {
 	Phases    []phaseJSON `json:"phases,omitempty"`
 	QueueMs   float64     `json:"queue_ms,omitempty"`
 	RunMs     float64     `json:"run_ms,omitempty"`
+	TraceID   string      `json:"trace_id,omitempty"`
 }
 
 func (s *Server) jobView(j *Job, coalesced bool) jobJSON {
@@ -358,6 +436,7 @@ func (s *Server) jobView(j *Job, coalesced bool) jobJSON {
 		Status:    v.Status,
 		Coalesced: coalesced,
 		Error:     v.Err,
+		TraceID:   j.TraceID,
 	}
 	if !v.Started.IsZero() {
 		out.QueueMs = float64(v.Started.Sub(v.Enqueued)) / float64(time.Millisecond)
@@ -511,31 +590,40 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 		cfg     runcfg.Config
 		fresh   bool
 	}
+	root := obs.SpanFromContext(r.Context())
+	resolveSpan := s.tracer.StartChild(root.Context(), "store.resolve")
 	work := make([]resolved, 0, len(reqs))
 	for i, req := range reqs {
 		graphID, g, errCode, err := s.resolveGraph(req)
 		if err != nil {
+			resolveSpan.SetAttr("error", err.Error())
+			resolveSpan.End()
 			writeError(w, errCode, "job %d: %v", i, err)
 			return
 		}
 		cfg := req.Config.WithDefaults()
 		if err := cfg.Validate(); err != nil {
+			resolveSpan.SetAttr("error", err.Error())
+			resolveSpan.End()
 			writeError(w, http.StatusBadRequest, "job %d: %v", i, err)
 			return
 		}
 		work = append(work, resolved{graphID: graphID, g: g, cfg: cfg, fresh: req.Fresh})
 	}
+	resolveSpan.SetAttr("jobs", strconv.Itoa(len(work)))
+	resolveSpan.End()
 
 	// Phase 2, under submitMu: intern and enqueue as one atomic step. The
 	// lock makes Intern→Enqueue→(rollback Release on 429) indivisible, so a
 	// concurrent identical request can never coalesce onto a job that is
 	// about to be released because its batch did not fit the queue.
 	reqID := requestID(r)
+	admitSpan := s.tracer.StartChild(root.Context(), "queue.admit")
 	s.submitMu.Lock()
 	subs := make([]submission, 0, len(work))
 	var toEnqueue []*Job
 	for _, rw := range work {
-		job, coalesced := s.jobs.Intern(rw.graphID, rw.g, rw.cfg, rw.fresh, reqID)
+		job, coalesced := s.jobs.Intern(rw.graphID, rw.g, rw.cfg, rw.fresh, reqID, root.Context())
 		subs = append(subs, submission{job: job, coalesced: coalesced})
 		if !coalesced {
 			toEnqueue = append(toEnqueue, job)
@@ -548,6 +636,12 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 		}
 	}
 	s.submitMu.Unlock()
+	admitSpan.SetAttr("enqueued", strconv.Itoa(len(toEnqueue)))
+	admitSpan.SetAttr("coalesced", strconv.Itoa(len(subs)-len(toEnqueue)))
+	if enqErr != nil {
+		admitSpan.SetAttr("error", enqErr.Error())
+	}
+	admitSpan.End()
 
 	if enqErr != nil {
 		s.stats.jobRejected()
@@ -921,10 +1015,64 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics is GET /metrics: the full registry in Prometheus text
-// exposition format 0.0.4.
+// exposition format 0.0.4, or — when the scraper negotiates
+// application/openmetrics-text via Accept — the OpenMetrics rendering,
+// whose histogram buckets carry trace-ID exemplars linking latency
+// outliers back to GET /v1/traces/{id}.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.metrics.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// writeSpans renders spans in the negotiated export format: the native
+// span JSON by default, Chrome trace-event JSON (loadable as-is in
+// ui.perfetto.dev) with ?format=chrome.
+func writeSpans(w http.ResponseWriter, r *http.Request, spans []*obs.Span) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "chrome" {
+		_ = obs.WriteChromeTrace(w, spans)
+		return
+	}
+	_ = obs.WriteSpansJSON(w, spans)
+}
+
+// handleGetTraceSpans is GET /v1/traces/{traceID}[?format=chrome]: every
+// span of one trace still resident in the flight ring, ordered by start
+// time. 404 covers both unknown IDs and traces whose spans have aged out.
+func (s *Server) handleGetTraceSpans(w http.ResponseWriter, r *http.Request) {
+	id, err := obs.TraceIDFromHex(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spans := s.tracer.TraceSpans(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound,
+			"no recorded spans for trace %s (the flight recorder keeps only the most recent spans)", id)
+		return
+	}
+	writeSpans(w, r, spans)
+}
+
+// handleFlight is GET /debug/flight[?format=chrome]: the whole flight
+// recorder — the most recent finished spans across all traces, sampled or
+// not. This is the "what was the server just doing" surface; the same
+// dump goes to stderr on SIGQUIT (see cmd/distcolor-serve).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	writeSpans(w, r, s.tracer.Spans())
+}
+
+// FlightDump writes the flight recorder's resident spans as native span
+// JSON — the programmatic twin of GET /debug/flight, used by the SIGQUIT
+// handler so a wedged or misbehaving server can be asked post-hoc what it
+// was doing without an HTTP round trip.
+func (s *Server) FlightDump(w io.Writer) error {
+	return obs.WriteSpansJSON(w, s.tracer.Spans())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

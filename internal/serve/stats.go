@@ -62,8 +62,10 @@ func (s *Stats) jobCoalesced() { s.coalesced.Inc() }
 func (s *Stats) jobRejected()  { s.rejected.Inc() }
 
 // jobFinished records one job's terminal status and end-to-end latency.
-// Callers must guarantee once-per-job delivery (see Server.recordTerminal).
-func (s *Stats) jobFinished(latency time.Duration, status JobStatus) {
+// A non-empty traceID becomes the latency bucket's exemplar, linking the
+// distribution back to one concrete traced job. Callers must guarantee
+// once-per-job delivery (see Server.recordTerminal).
+func (s *Stats) jobFinished(latency time.Duration, status JobStatus, traceID string) {
 	switch status {
 	case StatusFailed:
 		s.failed.Inc()
@@ -72,7 +74,7 @@ func (s *Stats) jobFinished(latency time.Duration, status JobStatus) {
 	default:
 		s.done.Inc()
 	}
-	s.latency.Observe(latency.Seconds())
+	s.latency.ObserveExemplar(latency.Seconds(), traceID)
 }
 
 // Snapshot is a point-in-time view of the serving statistics.
@@ -85,6 +87,10 @@ type Snapshot struct {
 	JobsCancelled int64   `json:"jobs_cancelled"`
 	LatencyP50Ms  float64 `json:"latency_p50_ms"`
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	// LatencySampleTrace is the trace ID of the most recent traced job
+	// latency observation — a concrete entry point (GET /v1/traces/{id})
+	// into whatever the percentiles are summarizing.
+	LatencySampleTrace string `json:"latency_sample_trace,omitempty"`
 }
 
 // Snapshot reads the current counters and histogram percentiles.
@@ -100,6 +106,9 @@ func (s *Stats) Snapshot() Snapshot {
 	if s.latency.Count() > 0 {
 		snap.LatencyP50Ms = s.latency.Quantile(50) * 1e3
 		snap.LatencyP99Ms = s.latency.Quantile(99) * 1e3
+	}
+	if e, ok := s.latency.LastExemplar(); ok {
+		snap.LatencySampleTrace = e.TraceID
 	}
 	return snap
 }

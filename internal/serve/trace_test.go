@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distcolor/internal/obs"
+)
+
+// traceSpanJSON mirrors the native span wire form served by
+// GET /v1/traces/{id} and /debug/flight.
+type traceSpanJSON struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id"`
+	Name     string `json:"name"`
+	DurNs    int64  `json:"dur_ns"`
+}
+
+type spansBody struct {
+	Spans []traceSpanJSON `json:"spans"`
+}
+
+// getTraceSpans fetches one trace's spans, retrying briefly: the root span
+// is published to the ring just after the response is written, so an
+// immediate read can race it.
+func getTraceSpans(t *testing.T, url, traceID string) []traceSpanJSON {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, raw := doJSON(t, http.MethodGet, url+"/v1/traces/"+traceID, nil)
+		if code == http.StatusOK {
+			body := decode[spansBody](t, raw)
+			for _, s := range body.Spans {
+				if strings.HasPrefix(s.Name, "HTTP ") {
+					return body.Spans
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s: no root span within deadline (last status %d: %s)", traceID, code, raw)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEndToEndTraceSpans is the acceptance-criteria trace: one
+// POST /v1/jobs?wait=true request must leave ≥5 nested spans — the HTTP
+// root, store.resolve, queue.admit, queue.wait, job.run, and at least one
+// engine phase — correctly parented into one tree under one trace ID.
+func TestEndToEndTraceSpans(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, TraceSeed: 11})
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs?wait=true",
+		map[string]any{"gen": "apollonian:300", "algo": "planar6"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	jj := decode[jobJSON](t, raw)
+	if jj.Status != StatusDone {
+		t.Fatalf("job ended %q: %s", jj.Status, jj.Error)
+	}
+	if jj.TraceID == "" {
+		t.Fatal("job JSON carries no trace_id")
+	}
+
+	spans := getTraceSpans(t, ts.URL, jj.TraceID)
+	if len(spans) < 5 {
+		t.Fatalf("trace has %d spans, want ≥5: %+v", len(spans), spans)
+	}
+	byName := map[string]traceSpanJSON{}
+	var engine int
+	for _, s := range spans {
+		if s.TraceID != jj.TraceID {
+			t.Errorf("span %s carries trace %s, want %s", s.Name, s.TraceID, jj.TraceID)
+		}
+		if strings.HasPrefix(s.Name, "engine.") {
+			engine++
+			continue
+		}
+		byName[s.Name] = s
+	}
+	root, ok := byName["HTTP POST /v1/jobs"]
+	if !ok {
+		t.Fatalf("no HTTP root span in %+v", spans)
+	}
+	if root.ParentID != "" {
+		t.Errorf("root span has parent %s", root.ParentID)
+	}
+	for _, name := range []string{"store.resolve", "queue.admit", "queue.wait"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing span %q in %+v", name, spans)
+		}
+		if s.ParentID != root.SpanID {
+			t.Errorf("span %q parented under %s, want root %s", name, s.ParentID, root.SpanID)
+		}
+	}
+	run, ok := byName["job.run"]
+	if !ok {
+		t.Fatalf("missing job.run span in %+v", spans)
+	}
+	if run.ParentID != root.SpanID {
+		t.Errorf("job.run parented under %s, want root %s", run.ParentID, root.SpanID)
+	}
+	if engine == 0 {
+		t.Error("no engine.<phase> spans recorded")
+	}
+	for _, s := range spans {
+		if strings.HasPrefix(s.Name, "engine.") && s.ParentID != run.SpanID {
+			t.Errorf("engine span %q parented under %s, want job.run %s", s.Name, s.ParentID, run.SpanID)
+		}
+	}
+
+	// The trace report carries the same trace ID.
+	code, raw = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+jj.ID+"/trace", nil)
+	if code != http.StatusOK {
+		t.Fatalf("trace report: status %d: %s", code, raw)
+	}
+	var rep struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil || rep.TraceID != jj.TraceID {
+		t.Errorf("TraceReport.trace_id = %q (err %v), want %q", rep.TraceID, err, jj.TraceID)
+	}
+
+	// Chrome export of the same trace must be Perfetto-loadable JSON with
+	// one complete event per span.
+	code, raw = doJSON(t, http.MethodGet, ts.URL+"/v1/traces/"+jj.TraceID+"?format=chrome", nil)
+	if code != http.StatusOK {
+		t.Fatalf("chrome export: status %d: %s", code, raw)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("chrome export not valid JSON: %v", err)
+	}
+	if chrome.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", chrome.DisplayTimeUnit)
+	}
+	var complete int
+	for _, e := range chrome.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+		}
+	}
+	if complete < len(spans) {
+		t.Errorf("chrome export has %d complete events for %d spans", complete, len(spans))
+	}
+}
+
+// TestTraceparentPropagation: an inbound traceparent is continued — same
+// trace ID end to end, inbound span as root's parent, sampled flag
+// honored — and the response invects the server's own span context.
+func TestTraceparentPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	const inboundTrace = "0af7651916cd43dd8448eb211c80319c"
+	const inbound = "00-" + inboundTrace + "-b7ad6b7169203331-01"
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", inbound)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	out := resp.Header.Get("Traceparent")
+	sc, err := obs.ParseTraceparent(out)
+	if err != nil {
+		t.Fatalf("response traceparent %q does not parse: %v", out, err)
+	}
+	if got := sc.TraceID.String(); got != inboundTrace {
+		t.Errorf("outbound trace ID %s, want continued %s", got, inboundTrace)
+	}
+	if !sc.Sampled() {
+		t.Error("inbound sampled flag was dropped")
+	}
+	if sc.SpanID.String() == "b7ad6b7169203331" {
+		t.Error("outbound parent-id must be the server's own span, not the inbound one")
+	}
+	if got := sc.Traceparent(); got != out {
+		t.Errorf("header %q does not round-trip byte-for-byte (re-render %q)", out, got)
+	}
+
+	// Without an inbound header the server mints a fresh valid trace.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if _, err := obs.ParseTraceparent(resp2.Header.Get("Traceparent")); err != nil {
+		t.Errorf("fresh response traceparent invalid: %v", err)
+	}
+}
+
+// TestRequestIDsGloballyUnique: request IDs must be 16-hex random draws
+// (not a restart-colliding sequence), distinct across requests and across
+// two servers simulating a restart/replica pair.
+func TestRequestIDsGloballyUnique(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	_, tsA := newTestServer(t, Options{Workers: 1, Logger: logger})
+	_, tsB := newTestServer(t, Options{Workers: 1, Logger: logger})
+	for i := 0; i < 5; i++ {
+		for _, u := range []string{tsA.URL, tsB.URL} {
+			code, raw := doJSON(t, http.MethodGet, u+"/healthz", nil)
+			if code != http.StatusOK {
+				t.Fatalf("healthz: %d %s", code, raw)
+			}
+		}
+	}
+	hexID := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Req string `json:"req"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Req == "" {
+			continue
+		}
+		if !hexID.MatchString(rec.Req) {
+			t.Fatalf("request ID %q is not 16 lowercase hex chars", rec.Req)
+		}
+		if seen[rec.Req] {
+			t.Fatalf("request ID %q repeated", rec.Req)
+		}
+		seen[rec.Req] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("saw %d distinct request IDs, want 10", len(seen))
+	}
+}
+
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestQueueWaitAndExemplars: running a job must populate the
+// distcolor_job_queue_wait_seconds histogram, and the OpenMetrics
+// rendering must attach trace-ID exemplars to latency buckets while the
+// default 0.0.4 exposition stays exemplar-free.
+func TestQueueWaitAndExemplars(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs?wait=true",
+		map[string]any{"gen": "apollonian:200", "algo": "planar6"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	jj := decode[jobJSON](t, raw)
+	if jj.Status != StatusDone {
+		t.Fatalf("job ended %q: %s", jj.Status, jj.Error)
+	}
+
+	// Plain scrape: 0.0.4, no exemplar syntax, queue-wait family present.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(resp.Header.Get("Content-Type"), "version=0.0.4") {
+		t.Errorf("plain scrape content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if bytes.Contains(plain, []byte("# {")) || bytes.Contains(plain, []byte("# EOF")) {
+		t.Error("0.0.4 exposition must not contain OpenMetrics syntax")
+	}
+	if !bytes.Contains(plain, []byte("distcolor_job_queue_wait_seconds_count 1")) {
+		t.Errorf("queue-wait histogram did not record the job:\n%s", plain)
+	}
+
+	// Negotiated scrape: OpenMetrics with exemplars and the EOF trailer.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(resp.Header.Get("Content-Type"), "application/openmetrics-text") {
+		t.Errorf("negotiated scrape content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !bytes.HasSuffix(om, []byte("# EOF\n")) {
+		t.Error("OpenMetrics exposition must end with # EOF")
+	}
+	want := fmt.Sprintf(`# {trace_id="%s"}`, jj.TraceID)
+	if !bytes.Contains(om, []byte(want)) {
+		t.Errorf("OpenMetrics exposition carries no exemplar %s:\n%s", want, om)
+	}
+
+	// /v1/stats surfaces the latency sample's trace.
+	code, raw = doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, raw)
+	}
+	var stats struct {
+		Jobs Snapshot `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.LatencySampleTrace != jj.TraceID {
+		t.Errorf("stats latency_sample_trace = %q, want %q", stats.Jobs.LatencySampleTrace, jj.TraceID)
+	}
+}
+
+// TestFlightRecorder: /debug/flight serves the recent-span ring in both
+// formats, stays populated even with sampling off (always-on recorder),
+// and FlightDump mirrors it for the SIGQUIT path.
+func TestFlightRecorder(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, TraceSample: -1})
+	for i := 0; i < 3; i++ {
+		doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var body spansBody
+	for {
+		code, raw := doJSON(t, http.MethodGet, ts.URL+"/debug/flight", nil)
+		if code != http.StatusOK {
+			t.Fatalf("flight: %d %s", code, raw)
+		}
+		body = decode[spansBody](t, raw)
+		if len(body.Spans) >= 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(body.Spans) < 3 {
+		t.Fatalf("flight ring has %d spans after 3 unsampled requests, want ≥3", len(body.Spans))
+	}
+	for _, sp := range body.Spans {
+		if !strings.HasPrefix(sp.Name, "HTTP ") {
+			t.Errorf("unsampled trace leaked a non-root span %q into the ring", sp.Name)
+		}
+	}
+
+	var dump bytes.Buffer
+	if err := s.FlightDump(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), `"HTTP GET /healthz"`) {
+		t.Errorf("FlightDump missing root spans:\n%s", dump.String())
+	}
+
+	code, raw := doJSON(t, http.MethodGet, ts.URL+"/debug/flight?format=chrome", nil)
+	if code != http.StatusOK || !bytes.Contains(raw, []byte("traceEvents")) {
+		t.Errorf("chrome flight export: %d %s", code, raw)
+	}
+}
+
+// TestTraceNotFound covers the /v1/traces error paths.
+func TestTraceNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/traces/zzz", nil); code != http.StatusBadRequest {
+		t.Errorf("malformed trace ID: status %d, want 400", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/traces/0af7651916cd43dd8448eb211c80319c", nil); code != http.StatusNotFound {
+		t.Errorf("unknown trace ID: status %d, want 404", code)
+	}
+}
+
+// TestConcurrentTracingAndScrape races job traffic against metric scrapes
+// and flight reads — the span ring and exemplar stores are lock-free, and
+// this (under -race in CI) is the test that holds them to it.
+func TestConcurrentTracingAndScrape(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, TraceRing: 64})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, path := range []string{"/metrics", "/debug/flight"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+				req.Header.Set("Accept", "application/openmetrics-text")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+	var jobs sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		jobs.Add(1)
+		go func(w int) {
+			defer jobs.Done()
+			for i := 0; i < 5; i++ {
+				code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs?wait=true",
+					map[string]any{"gen": "path:40", "algo": "planar6", "seed": uint64(w*10 + i)})
+				if code != http.StatusAccepted {
+					t.Errorf("submit: %d %s", code, raw)
+					return
+				}
+			}
+		}(w)
+	}
+	jobs.Wait()
+	close(stop)
+	wg.Wait()
+}

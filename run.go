@@ -127,6 +127,9 @@ func Run(ctx context.Context, g *Graph, algo string, opts ...Option) (*Coloring,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if rc.trace != nil {
+		rc.trace.Begin()
+	}
 	col, err := a.Run(ctx, g, rc)
 	if err != nil {
 		return nil, err
