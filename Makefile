@@ -1,18 +1,18 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test test-serial test-race smoke bench-smoke bench bench-json bench-obs fuzz-smoke serve staticcheck trace-demo
+.PHONY: all ci fmt-check vet build test test-serial test-race test-cluster smoke bench-smoke bench bench-json bench-obs bench-cluster fuzz-smoke serve staticcheck trace-demo
 
 # Benchmarks recorded in the persistent BENCH_PR.json trajectory (and gated
 # by bench-smoke): the engine acceptance suite plus the graph-layer
 # primitives its hot path leans on, and the instrumented (Obs) twins of the
 # delivery and serving benchmarks so the trajectory records observability
 # cost alongside raw cost.
-BENCH_JSON_PAT = BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery|BenchmarkHappySet|BenchmarkBlocks|BenchmarkGallai|BenchmarkBFS|BenchmarkDegeneracy|BenchmarkGirth|BenchmarkDegreeListColor|BenchmarkServeThroughput$$|BenchmarkServeThroughputObs$$
-BENCH_JSON_PKGS = . ./internal/graph ./internal/seqcolor ./internal/serve
+BENCH_JSON_PAT = BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery|BenchmarkHappySet|BenchmarkBlocks|BenchmarkGallai|BenchmarkBFS|BenchmarkDegeneracy|BenchmarkGirth|BenchmarkDegreeListColor|BenchmarkServeThroughput$$|BenchmarkServeThroughputObs$$|BenchmarkServeThroughputCluster$$|BenchmarkServeThroughputForward$$|BenchmarkClusterRoute
+BENCH_JSON_PKGS = . ./internal/graph ./internal/seqcolor ./internal/serve ./internal/cluster
 
 all: ci
 
-ci: fmt-check vet build test test-serial test-race smoke bench-smoke fuzz-smoke
+ci: fmt-check vet build test test-serial test-race test-cluster smoke bench-smoke fuzz-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -39,8 +39,16 @@ test-serial:
 # sharded message plane, plus the root-package cancellation/registry and
 # cross-GOMAXPROCS determinism tests.
 test-race:
-	$(GO) test -race ./internal/serve/... ./internal/local/...
+	$(GO) test -race ./internal/serve/... ./internal/local/... ./internal/cluster/...
 	$(GO) test -race -run 'Cancel|Registry|Deadline|Progress|Luby|Deterministic|ProperColoring|Golden' .
+
+# Clustering suite under the race detector: the ring/quota/health unit
+# tests plus the in-process 3-replica harness (routing determinism,
+# fleet-wide coalescing, forwarded-trace continuity, failover, quota
+# isolation).
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/...
+	$(GO) test -race -count=1 -run 'TestCluster' ./internal/serve
 
 # Registry-driven CLI smoke: runs every distcolor.Algorithms() entry on its
 # tiny Algorithm.Smoke graph through the same wire path the server uses.
@@ -87,6 +95,15 @@ bench-obs:
 	{ $(GO) test -run xxx -count 3 -benchtime 20x -bench 'BenchmarkRunSyncDelivery(Obs)?$$' . ; \
 	  $(GO) test -run xxx -count 3 -benchtime 100x -bench 'BenchmarkServeThroughput(Obs)?$$' ./internal/serve ; } \
 	| $(GO) run ./cmd/benchjson -overhead Obs -overhead-tolerance 1.05
+
+# Clustering-overhead guard, same shape as bench-obs: the clustered serving
+# benchmark (three-member ring, graph owned by self, so the routing decision
+# is paid on every request but nothing forwards) must stay within 10% of the
+# standalone twin. Both sides run in one invocation, so the gate needs no
+# committed baseline.
+bench-cluster:
+	$(GO) test -run xxx -count 3 -benchtime 100x -bench 'BenchmarkServeThroughput(Cluster)?$$' ./internal/serve \
+		| $(GO) run ./cmd/benchjson -overhead Cluster -overhead-tolerance 1.10
 
 # Run one real job and emit a viewable span trace: open trace-demo.json
 # as-is in https://ui.perfetto.dev (or chrome://tracing). The same span

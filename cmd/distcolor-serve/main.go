@@ -8,18 +8,27 @@
 //	distcolor-serve -addr :8080 &
 //	curl -s -X POST localhost:8080/v1/graphs \
 //	    -H 'Content-Type: application/json' -d '{"gen":"apollonian:2000","seed":7}'
+//	# {"id":"gs7af8d5bda4f2ee6138d200effb4cd8d1",...}
 //	curl -s -X POST 'localhost:8080/v1/jobs?wait=true' \
-//	    -d '{"graph":"g1","algo":"planar6"}'
+//	    -d '{"graph":"gs7af8d5bda4f2ee6138d200effb4cd8d1","algo":"planar6"}'
+//
+// With -self and -peers the process joins a serving fleet (internal/cluster):
+// gen-spec graphs route by their deterministic content-derived ID over a
+// consistent-hash ring, misrouted requests are proxied to the owner (with
+// failover to the ring successor), peers health-check each other's /healthz,
+// and -quota-rps enforces per-client token-bucket quotas at the ingress
+// replica. GET /v1/stats?fleet=true aggregates across the fleet.
 //
 // Endpoints: POST /v1/graphs, POST /v1/jobs, GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id} (cancel), GET /v1/jobs/{id}/colors (chunk-streamed),
 // GET /v1/jobs/{id}/trace (per-round execution trace), GET /v1/algorithms,
-// GET /v1/stats, GET /v1/traces/{traceID} (request span tree, ?format=chrome
-// for Perfetto), GET /metrics (Prometheus text; OpenMetrics with exemplars
-// when negotiated), GET /healthz, GET /debug/flight (span flight recorder),
-// and — with -pprof — the net/http/pprof handlers under /debug/pprof/. The
-// README's "Serving" and "Observability" sections document bodies and
-// semantics.
+// GET /v1/stats (?fleet=true for fleet-wide aggregation), GET /v1/traces/{traceID}
+// (request span tree, ?format=chrome for Perfetto), GET /metrics (Prometheus
+// text; OpenMetrics with exemplars when negotiated), GET /healthz (ring
+// membership, peer health, graph residency when clustered), GET /debug/flight
+// (span flight recorder), and — with -pprof — the net/http/pprof handlers
+// under /debug/pprof/. The README's "Serving", "Clustering" and
+// "Observability" sections document bodies and semantics.
 //
 // Logging is structured (log/slog): every request gets a globally unique
 // ID and a W3C trace ID (inbound traceparent headers are continued) that
@@ -38,9 +47,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"distcolor/internal/cluster"
 	"distcolor/internal/serve"
 )
 
@@ -64,6 +75,11 @@ func run() error {
 	traceRing := flag.Int("trace-ring", 4096, "span flight-recorder capacity (rounded up to a power of two)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	self := flag.String("self", "", "this replica's advertised base URL (e.g. http://10.0.0.1:8080); required with -peers")
+	peers := flag.String("peers", "", "comma-separated replica base URLs forming the serving fleet (self may be included); empty serves standalone")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer /healthz probe period")
+	quotaRPS := flag.Float64("quota-rps", 0, "per-client request quota in req/s, keyed by X-Distcolor-Client or remote host (0 = off)")
+	quotaBurst := flag.Float64("quota-burst", 0, "quota bucket size (0 = max(1, -quota-rps))")
 	flag.Parse()
 
 	var level slog.Level
@@ -77,7 +93,7 @@ func run() error {
 	}
 	logger := slog.New(handler)
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		GraphCacheWeight: *cacheWeight,
@@ -88,7 +104,27 @@ func run() error {
 		EnablePprof:      *pprofFlag,
 		TraceSample:      *traceSample,
 		TraceRing:        *traceRing,
-	})
+		QuotaRPS:         *quotaRPS,
+		QuotaBurst:       *quotaBurst,
+	}
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this replica's advertised URL)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		opts.Cluster = &cluster.Config{
+			Self:          *self,
+			Peers:         peerList,
+			ProbeInterval: *probeInterval,
+			Logger:        logger,
+		}
+	}
+	srv := serve.New(opts)
 	defer srv.Close()
 
 	// SIGQUIT dumps the span flight recorder to stderr — the classic "what

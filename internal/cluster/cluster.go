@@ -1,0 +1,358 @@
+// Package cluster is the distcolor serving tier's clustering subsystem: a
+// consistent-hash ring with virtual nodes and rendezvous tie-breaking, static
+// peer membership with /healthz probing (consecutive-failure ejection,
+// re-admission), an HTTP forwarding proxy that reuses the JSON API as the
+// inter-replica transport, and per-client token-bucket quotas.
+//
+// The design mirrors the paper's LOCAL model at fleet scale: every replica
+// makes purely local routing decisions from shared state (the peer list and
+// the hash function), with no coordinator and bounded communication (at most
+// one forward hop per request, plus probe traffic). Two replicas configured
+// with the same member set compute identical ring placements, so a graph's
+// owner is an agreement point no replica ever has to ask another about —
+// the property that keeps the parse-once graph cache and deterministic job
+// coalescing working fleet-wide.
+//
+// Like internal/obs, the package is dependency-free: net/http is the only
+// transport and go.mod gains nothing.
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Header names of the inter-replica protocol. They ride on the existing
+// JSON API — a forwarded request is an ordinary request plus ForwardedHeader.
+const (
+	// ForwardedHeader marks a request already forwarded once; the receiving
+	// replica executes it locally no matter what its own ring says, so
+	// divergent ring views can never produce a forwarding loop. Its value is
+	// the forwarding replica's advertised URL.
+	ForwardedHeader = "X-Distcolor-Forwarded"
+	// ReplicaHeader names the replica that actually executed a request. The
+	// ingress replica stamps itself; the forwarding proxy overwrites it with
+	// the upstream value, so the client always sees the executing replica.
+	ReplicaHeader = "X-Distcolor-Replica"
+	// ClientHeader carries the quota identity of the calling tenant. Absent,
+	// the remote address (host only) identifies the client.
+	ClientHeader = "X-Distcolor-Client"
+)
+
+// Config configures a Node. Self and Peers are required; everything else
+// has serviceable defaults.
+type Config struct {
+	// Self is this replica's advertised base URL (how peers reach it). It is
+	// the replica's ring identity, so every replica must be configured with
+	// byte-identical URL strings.
+	Self string
+	// Peers is the static member list: every replica's base URL. Self may be
+	// included or not; the membership is the deduplicated union.
+	Peers []string
+	// VNodes is the virtual-node count per member (default 64). More vnodes
+	// smooth the key distribution at the cost of a larger ring.
+	VNodes int
+	// ProbeInterval is the background /healthz probe period (default 2s).
+	// Negative disables the background prober — tests drive ProbeNow.
+	ProbeInterval time.Duration
+	// FailAfter ejects a peer from the ring after this many consecutive
+	// probe or forward failures (default 3).
+	FailAfter int
+	// ReviveAfter re-admits an ejected peer after this many consecutive
+	// probe successes (default 2).
+	ReviveAfter int
+	// ForwardAttempts is how many times the proxy tries the owning replica
+	// before the single failover to the ring successor (default 2).
+	ForwardAttempts int
+	// ForwardBackoff is the base backoff between attempts on the same
+	// replica, jittered to ±50% (default 50ms). The failover hop itself is
+	// immediate — the owner is presumed dead, not busy.
+	ForwardBackoff time.Duration
+	// Client issues forwarded requests and fan-outs. nil gets a client with
+	// no overall timeout (forwarded ?wait=true jobs legitimately take long;
+	// the inbound request context bounds them instead).
+	Client *http.Client
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// Logger receives peer state transitions. nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.ReviveAfter <= 0 {
+		c.ReviveAfter = 2
+	}
+	if c.ForwardAttempts <= 0 {
+		c.ForwardAttempts = 2
+	}
+	if c.ForwardBackoff <= 0 {
+		c.ForwardBackoff = 50 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// PeerState is one peer's health as the local replica sees it.
+type PeerState struct {
+	URL string `json:"url"`
+	Up  bool   `json:"-"`
+	// State renders Up for JSON consumers ("up" or "down").
+	State string `json:"state"`
+	// ConsecutiveFailures counts probe/forward failures since the last
+	// success — FailAfter of them eject the peer.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LastErr is the most recent failure, for /healthz diagnosis.
+	LastErr string `json:"last_error,omitempty"`
+}
+
+// peer is the mutable health record of one remote replica.
+type peer struct {
+	url     string
+	up      bool
+	fails   int // consecutive failures (probe or forward)
+	oks     int // consecutive successes while down
+	lastErr string
+}
+
+// Node is one replica's view of the cluster: the health-filtered member set
+// and the consistent-hash ring over it. All methods are safe for concurrent
+// use; ring reads are lock-free snapshots.
+type Node struct {
+	cfg  Config
+	self string
+	log  *slog.Logger
+
+	mu    sync.Mutex
+	peers map[string]*peer // remote members only, keyed by URL
+	order []string         // remote member URLs, sorted (stable iteration)
+	ring  *Ring            // over self + up peers; replaced, never mutated
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewNode validates cfg and starts the node (and its background prober,
+// unless ProbeInterval is negative). Peers start optimistically up — the
+// prober demotes the dead ones rather than a cold start ejecting everyone.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self must be this replica's advertised URL")
+	}
+	n := &Node{
+		cfg:   cfg,
+		self:  cfg.Self,
+		log:   cfg.Logger,
+		peers: map[string]*peer{},
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p == "" || p == cfg.Self {
+			continue
+		}
+		if _, ok := n.peers[p]; ok {
+			continue
+		}
+		n.peers[p] = &peer{url: p, up: true}
+		n.order = append(n.order, p)
+	}
+	sort.Strings(n.order)
+	n.rebuildLocked()
+	if cfg.ProbeInterval > 0 {
+		go n.probeLoop()
+	} else {
+		close(n.done)
+	}
+	return n, nil
+}
+
+// Close stops the background prober.
+func (n *Node) Close() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}
+
+// Self returns this replica's advertised URL (its ring identity).
+func (n *Node) Self() string { return n.self }
+
+// rebuildLocked recomputes the ring over self plus the up peers. Callers
+// hold n.mu.
+func (n *Node) rebuildLocked() {
+	members := make([]string, 0, len(n.order)+1)
+	members = append(members, n.self)
+	for _, u := range n.order {
+		if n.peers[u].up {
+			members = append(members, u)
+		}
+	}
+	n.ring = NewRing(members, n.cfg.VNodes)
+}
+
+// currentRing snapshots the ring (immutable once built).
+func (n *Node) currentRing() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// Members returns the healthy member URLs (self included), sorted — every
+// healthy replica computes the same slice, so it doubles as the routing
+// determinism witness in tests and /healthz.
+func (n *Node) Members() []string {
+	return n.currentRing().Members()
+}
+
+// Owner maps a route key to the healthy replica that owns it.
+func (n *Node) Owner(key string) string {
+	return n.currentRing().Owner(key)
+}
+
+// NextOwner maps a route key to the first healthy replica after avoid in
+// ring order — the failover target when avoid just refused a forward.
+func (n *Node) NextOwner(key, avoid string) string {
+	return n.currentRing().OwnerAvoiding(key, avoid)
+}
+
+// PeerStates snapshots every configured remote peer's health, sorted by URL.
+func (n *Node) PeerStates() []PeerState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerState, 0, len(n.order))
+	for _, u := range n.order {
+		p := n.peers[u]
+		st := PeerState{URL: u, Up: p.up, State: "up", ConsecutiveFailures: p.fails, LastErr: p.lastErr}
+		if !p.up {
+			st.State = "down"
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ReportFailure records forwarding evidence that a peer is unreachable. It
+// counts like a failed probe: FailAfter consecutive reports eject the peer
+// and rehome its ring range, so the proxy's observations accelerate what the
+// prober would eventually notice.
+func (n *Node) ReportFailure(url string, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	n.record(url, false, msg)
+}
+
+// ReportSuccess records forwarding evidence that a peer answered.
+func (n *Node) ReportSuccess(url string) { n.record(url, true, "") }
+
+// record applies one health observation to a peer, rebuilding the ring on
+// an up/down transition.
+func (n *Node) record(url string, ok bool, errMsg string) {
+	n.mu.Lock()
+	p := n.peers[url]
+	if p == nil {
+		n.mu.Unlock()
+		return
+	}
+	changed := false
+	if ok {
+		p.fails, p.lastErr = 0, ""
+		if !p.up {
+			p.oks++
+			if p.oks >= n.cfg.ReviveAfter {
+				p.up, p.oks, changed = true, 0, true
+			}
+		}
+	} else {
+		p.oks = 0
+		p.fails++
+		p.lastErr = errMsg
+		if p.up && p.fails >= n.cfg.FailAfter {
+			p.up, changed = false, true
+		}
+	}
+	if changed {
+		n.rebuildLocked()
+	}
+	up, fails := p.up, p.fails
+	n.mu.Unlock()
+	if changed {
+		state := "down"
+		if up {
+			state = "up"
+		}
+		n.log.Info("cluster peer state change", "peer", url, "state", state,
+			"consecutive_failures", fails, "err", errMsg)
+	}
+}
+
+// probeLoop is the background health prober.
+func (n *Node) probeLoop() {
+	defer close(n.done)
+	t := time.NewTicker(n.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow runs one synchronous health sweep: GET /healthz on every
+// configured peer (up or down — down peers are probed for re-admission).
+func (n *Node) ProbeNow() {
+	n.mu.Lock()
+	urls := append([]string(nil), n.order...)
+	n.mu.Unlock()
+	for _, u := range urls {
+		ok, errMsg := n.probe(u)
+		n.record(u, ok, errMsg)
+	}
+}
+
+// probe issues one bounded /healthz request. Any 2xx answer is healthy;
+// other codes and transport errors are strikes.
+func (n *Node) probe(url string) (ok bool, errMsg string) {
+	req, err := http.NewRequest(http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	client := &http.Client{Transport: n.cfg.Client.Transport, Timeout: n.cfg.ProbeTimeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return false, fmt.Sprintf("healthz status %d", resp.StatusCode)
+	}
+	return true, ""
+}

@@ -1,0 +1,194 @@
+// forward.go is the inter-replica forwarding proxy. There is no second
+// transport: a forward is the very same JSON request the client sent,
+// replayed against the owning replica's public API with three extra
+// headers (ForwardedHeader to terminate loops, ClientHeader to preserve
+// quota attribution, traceparent to continue the trace). Retries are
+// bounded with jittered backoff; when the owner is dead the proxy fails
+// over exactly once to the ring successor and reports the failure to the
+// health state, so the ring rehomes without waiting for the prober.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ForwardOutcome reports how one forward went, for metrics and spans.
+type ForwardOutcome struct {
+	// Replica is the replica that answered (empty when Err is set).
+	Replica string
+	// Status is the proxied HTTP status (0 when Err is set).
+	Status int
+	// Attempts counts request attempts across all targets (≥ 1).
+	Attempts int
+	// FailedOver reports that the ring successor answered, not the owner.
+	FailedOver bool
+	// Err is set when no replica answered; the caller owns the error reply.
+	Err error
+}
+
+// Forward proxies r (with its already-read body) to the replica owning key,
+// streaming the upstream response back to w. It tries the owner up to
+// ForwardAttempts times with jittered backoff, then fails over once to the
+// ring successor. Transport failures feed the health state (ReportFailure /
+// ReportSuccess); any HTTP response — including an error status — is a
+// live peer and is passed through verbatim.
+//
+// traceparent, when non-empty, is injected on the outbound hop so the
+// remote replica continues the same trace under the caller's
+// cluster.forward span.
+func (n *Node) Forward(w http.ResponseWriter, r *http.Request, body []byte, key, owner, traceparent string) ForwardOutcome {
+	out := ForwardOutcome{}
+	targets := []string{owner}
+	if succ := n.NextOwner(key, owner); succ != "" && succ != owner {
+		targets = append(targets, succ)
+	}
+	var lastErr error
+	for ti, target := range targets {
+		attempts := n.cfg.ForwardAttempts
+		if ti > 0 {
+			attempts = 1 // single failover hop, no re-retry
+		}
+		for a := 0; a < attempts; a++ {
+			if a > 0 {
+				if !sleepJittered(r.Context(), n.cfg.ForwardBackoff, a) {
+					out.Err = r.Context().Err()
+					return out
+				}
+			}
+			out.Attempts++
+			resp, err := n.send(r, body, target, traceparent)
+			if err != nil {
+				if r.Context().Err() != nil {
+					// The caller is gone; nothing to answer and no health
+					// signal in a cancelled dial.
+					out.Err = r.Context().Err()
+					return out
+				}
+				lastErr = err
+				n.ReportFailure(target, err)
+				continue
+			}
+			n.ReportSuccess(target)
+			out.Replica = target
+			out.Status = resp.StatusCode
+			out.FailedOver = ti > 0
+			copyResponse(w, resp)
+			return out
+		}
+	}
+	out.Err = lastErr
+	if out.Err == nil {
+		out.Err = errors.New("cluster: no reachable replica")
+	}
+	return out
+}
+
+// send issues one forwarded request attempt.
+func (n *Node) send(r *http.Request, body []byte, target, traceparent string) (*http.Response, error) {
+	url := target + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		url += "?" + q
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if cl := r.Header.Get(ClientHeader); cl != "" {
+		req.Header.Set(ClientHeader, cl)
+	}
+	req.Header.Set(ForwardedHeader, n.self)
+	if traceparent != "" {
+		req.Header.Set("Traceparent", traceparent)
+	}
+	return n.cfg.Client.Do(req)
+}
+
+// copyResponse relays the upstream status, headers and body. Traceparent is
+// not copied: the client's trace identity is the ingress root span, already
+// stamped on w by the request middleware. ReplicaHeader is copied (Set, not
+// Add), overwriting the ingress replica's own stamp with the executor's.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for name, vals := range resp.Header {
+		if http.CanonicalHeaderKey(name) == "Traceparent" {
+			continue
+		}
+		w.Header()[name] = vals
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// sleepJittered blocks for backoff·attempt jittered to ±50%, or until ctx
+// is done (returning false).
+func sleepJittered(ctx context.Context, backoff time.Duration, attempt int) bool {
+	d := backoff * time.Duration(attempt)
+	d = d/2 + rand.N(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// FanOutResult is one replica's answer to a fleet fan-out.
+type FanOutResult struct {
+	Replica string
+	Up      bool
+	Status  int
+	Body    []byte
+	Err     error
+}
+
+// FanOut issues GET path concurrently to every configured remote peer —
+// down peers included, so a fleet view can label them instead of silently
+// omitting them — and returns the results sorted by peer URL. Each request
+// is bounded by timeout (ProbeTimeout when 0).
+func (n *Node) FanOut(ctx context.Context, path string, timeout time.Duration) []FanOutResult {
+	if timeout <= 0 {
+		timeout = n.cfg.ProbeTimeout
+	}
+	states := n.PeerStates()
+	out := make([]FanOutResult, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := FanOutResult{Replica: st.URL, Up: st.Up}
+			cctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(cctx, http.MethodGet, st.URL+path, nil)
+			if err != nil {
+				res.Err = err
+				out[i] = res
+				return
+			}
+			resp, err := n.cfg.Client.Do(req)
+			if err != nil {
+				res.Err = err
+				out[i] = res
+				return
+			}
+			defer resp.Body.Close()
+			res.Status = resp.StatusCode
+			res.Body, res.Err = io.ReadAll(resp.Body)
+			out[i] = res
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// newTestNode builds a node with the background prober disabled; tests
+// drive health transitions through ProbeNow and Report*.
+func newTestNode(t *testing.T, self string, peers []string, failAfter, reviveAfter int) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		Self:          self,
+		Peers:         peers,
+		ProbeInterval: -1,
+		FailAfter:     failAfter,
+		ReviveAfter:   reviveAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestNodeRequiresSelf(t *testing.T) {
+	if _, err := NewNode(Config{}); err == nil {
+		t.Fatal("NewNode without Self succeeded")
+	}
+}
+
+// TestNodeProbeEjectionAndReadmission walks a peer through the full health
+// lifecycle: optimistic start, ejection after FailAfter consecutive probe
+// failures, re-admission after ReviveAfter consecutive successes — with the
+// ring rehoming at both transitions.
+func TestNodeProbeEjectionAndReadmission(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(false)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer peer.Close()
+
+	n := newTestNode(t, "http://self", []string{peer.URL}, 2, 2)
+	if len(n.Members()) != 2 {
+		t.Fatalf("peers must start optimistically up; members = %v", n.Members())
+	}
+
+	n.ProbeNow() // strike one: still up
+	if len(n.Members()) != 2 {
+		t.Fatalf("ejected after 1 failure with FailAfter=2; members = %v", n.Members())
+	}
+	n.ProbeNow() // strike two: ejected
+	if got := n.Members(); len(got) != 1 || got[0] != "http://self" {
+		t.Fatalf("peer not ejected after FailAfter failures; members = %v", got)
+	}
+	st := n.PeerStates()
+	if len(st) != 1 || st[0].Up || st[0].State != "down" || st[0].LastErr == "" {
+		t.Fatalf("peer state after ejection = %+v", st)
+	}
+
+	healthy.Store(true)
+	n.ProbeNow() // success one: still down
+	if len(n.Members()) != 1 {
+		t.Fatalf("re-admitted after 1 success with ReviveAfter=2; members = %v", n.Members())
+	}
+	n.ProbeNow() // success two: re-admitted
+	if len(n.Members()) != 2 {
+		t.Fatalf("peer not re-admitted; members = %v", n.Members())
+	}
+}
+
+// TestNodeForwardFailureCountsTowardEjection checks ReportFailure feeds the
+// same strike counter as the prober, and a success resets it.
+func TestNodeForwardFailureCountsTowardEjection(t *testing.T) {
+	n := newTestNode(t, "http://self", []string{"http://peer"}, 3, 1)
+	n.ReportFailure("http://peer", nil)
+	n.ReportFailure("http://peer", nil)
+	n.ReportSuccess("http://peer") // resets the streak
+	n.ReportFailure("http://peer", nil)
+	n.ReportFailure("http://peer", nil)
+	if len(n.Members()) != 2 {
+		t.Fatalf("peer ejected before FailAfter consecutive failures; members = %v", n.Members())
+	}
+	n.ReportFailure("http://peer", nil)
+	if len(n.Members()) != 1 {
+		t.Fatalf("peer survived FailAfter consecutive failures; members = %v", n.Members())
+	}
+	// Reports about unknown peers (e.g. self, or a stale URL) are ignored.
+	n.ReportFailure("http://nobody", nil)
+}
+
+// TestNodeOwnerRehomesOnEjection checks ejection moves only the dead
+// replica's keys and that NextOwner avoids it even while it is still up.
+func TestNodeOwnerRehomesOnEjection(t *testing.T) {
+	peers := []string{"http://a", "http://b"}
+	n := newTestNode(t, "http://self", peers, 1, 1)
+	keys := make([]string, 200)
+	before := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gs-key-%d", i)
+		before[i] = n.Owner(keys[i])
+		if succ := n.NextOwner(keys[i], before[i]); succ == before[i] {
+			t.Fatalf("NextOwner returned the avoided member for %q", keys[i])
+		}
+	}
+	n.ReportFailure("http://a", nil) // FailAfter=1: immediate ejection
+	for i, key := range keys {
+		after := n.Owner(key)
+		if before[i] != "http://a" && after != before[i] {
+			t.Fatalf("key %q moved %q → %q though its owner is alive", key, before[i], after)
+		}
+		if before[i] == "http://a" {
+			if after == "http://a" {
+				t.Fatalf("key %q still routed to ejected member", key)
+			}
+			// Failover successor computed before the ejection must match the
+			// post-ejection owner: the proxy's one failover hop lands where
+			// the rebuilt ring will route.
+			if want := NewRing([]string{"http://self", "http://b"}, 0).Owner(key); after != want {
+				t.Fatalf("key %q rehomed to %q, two-member ring says %q", key, after, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// quota.go is the per-client token-bucket limiter layered above the
+// scheduler's queue backpressure: the queue bound protects the replica,
+// quotas protect tenants from each other. Buckets are keyed by client
+// identity (ClientHeader, falling back to remote host) and enforced at the
+// ingress replica only — forwarded requests were already charged where the
+// client connected, so a hop never double-bills.
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is a per-client token-bucket rate limiter. Each client accrues
+// rate tokens per second up to burst; a request costs one token. The
+// client table is bounded: past maxClients, the stalest buckets (the ones
+// longest since last use, hence refilled to burst anyway) are evicted.
+type Quota struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+	// maxClients bounds the bucket table (default 8192).
+	maxClients int
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuota returns a limiter granting rps requests per second per client
+// with the given burst (burst ≤ 0 defaults to max(1, rps)). rps ≤ 0 panics:
+// a zero quota would reject everything, which is a flag mistake, not a
+// policy.
+func NewQuota(rps, burst float64) *Quota {
+	if rps <= 0 || math.IsNaN(rps) || math.IsInf(rps, 0) {
+		panic("cluster: quota rate must be positive and finite")
+	}
+	if burst <= 0 {
+		burst = math.Max(1, rps)
+	}
+	return &Quota{
+		rate:       rps,
+		burst:      burst,
+		buckets:    map[string]*tokenBucket{},
+		now:        time.Now,
+		maxClients: 8192,
+	}
+}
+
+// Allow charges one token to client. When the bucket is empty it returns
+// false and how long until a token accrues — the Retry-After the 429
+// carries.
+func (q *Quota) Allow(client string) (ok bool, retryAfter time.Duration) {
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[client]
+	if b == nil {
+		if len(q.buckets) >= q.maxClients {
+			q.evictStalestLocked()
+		}
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	} else {
+		b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	missing := 1 - b.tokens
+	return false, time.Duration(missing / q.rate * float64(time.Second))
+}
+
+// evictStalestLocked drops the quarter of buckets longest since last use.
+// Stale buckets are full (or filling) anyway, so evicting one only forgets
+// debt a client stopped incurring.
+func (q *Quota) evictStalestLocked() {
+	drop := len(q.buckets) / 4
+	if drop < 1 {
+		drop = 1
+	}
+	for ; drop > 0; drop-- {
+		var oldest string
+		var oldestT time.Time
+		for c, b := range q.buckets {
+			if oldest == "" || b.last.Before(oldestT) {
+				oldest, oldestT = c, b.last
+			}
+		}
+		if oldest == "" {
+			return
+		}
+		delete(q.buckets, oldest)
+	}
+}
+
+// Clients returns the tracked client count (metrics).
+func (q *Quota) Clients() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

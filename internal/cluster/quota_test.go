@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Quota deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newQuotaAt(rps, burst float64) (*Quota, *fakeClock) {
+	q := NewQuota(rps, burst)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	q.now = c.now
+	return q, c
+}
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	q, clock := newQuotaAt(2, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.Allow("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := q.Allow("a")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// Empty bucket at 2 tokens/s: one token in 500ms.
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("retryAfter = %v, want %v", retry, want)
+	}
+	clock.advance(500 * time.Millisecond)
+	if ok, _ := q.Allow("a"); !ok {
+		t.Fatal("request after refill interval rejected")
+	}
+	// And the bucket is empty again immediately after.
+	if ok, _ := q.Allow("a"); ok {
+		t.Fatal("second request without refill admitted")
+	}
+}
+
+func TestQuotaClientIsolation(t *testing.T) {
+	q, _ := newQuotaAt(1, 1)
+	if ok, _ := q.Allow("a"); !ok {
+		t.Fatal("client a first request rejected")
+	}
+	if ok, _ := q.Allow("a"); ok {
+		t.Fatal("client a second request admitted")
+	}
+	// Client a draining its bucket must not touch client b's.
+	if ok, _ := q.Allow("b"); !ok {
+		t.Fatal("client b rejected because of client a's usage")
+	}
+}
+
+func TestQuotaRefillCapsAtBurst(t *testing.T) {
+	q, clock := newQuotaAt(10, 2)
+	if ok, _ := q.Allow("a"); !ok {
+		t.Fatal("first request rejected")
+	}
+	clock.advance(time.Hour) // would accrue 36000 tokens uncapped
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.Allow("a"); !ok {
+			t.Fatalf("request %d within burst rejected after idle", i)
+		}
+	}
+	if ok, _ := q.Allow("a"); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+func TestQuotaTableBounded(t *testing.T) {
+	q, clock := newQuotaAt(1, 1)
+	q.maxClients = 8
+	for i := 0; i < 100; i++ {
+		q.Allow(fmt.Sprintf("client-%d", i))
+		clock.advance(time.Millisecond) // distinct last-use times
+	}
+	if n := q.Clients(); n > 8 {
+		t.Fatalf("client table grew to %d, bound is 8", n)
+	}
+}
+
+func TestQuotaRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewQuota(0, …) did not panic")
+		}
+	}()
+	NewQuota(0, 1)
+}

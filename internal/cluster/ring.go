@@ -1,0 +1,153 @@
+// ring.go is the consistent-hash ring: each member contributes VNodes
+// points on a 64-bit circle, a key is owned by the first point at or after
+// its hash (wrapping), and exact point collisions between members are
+// broken by rendezvous hashing — the colliding member with the highest
+// mix(memberHash, keyHash) score wins, a deterministic order no insertion
+// sequence can perturb. The ring is a pure function of (member set, VNodes):
+// two replicas configured with the same members compute identical owners
+// for every key, which is what makes ownership an agreement point instead
+// of a negotiation.
+package cluster
+
+import "sort"
+
+// fnv64a is the 64-bit FNV-1a hash — allocation-free on strings, stable
+// across platforms and processes (unlike hash/maphash), which ring
+// determinism requires.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche applied on top
+// of FNV-1a before any value is placed on the circle, and used to combine
+// member and key hashes into rendezvous scores. Raw FNV-1a is too weak
+// here: vnode labels differ only in their trailing digits, and without the
+// finalizer their hashes cluster badly enough to hand one member half the
+// circle.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ringPoint is one virtual node: a member's i-th point on the circle.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring. Build with NewRing; lookups
+// are safe for concurrent use (the ring is never mutated after build).
+type Ring struct {
+	points  []ringPoint
+	members []string // sorted, deduplicated
+}
+
+// NewRing builds the ring over members with vnodes points each. The member
+// list is deduplicated and sorted, so any permutation of the same set
+// yields an identical ring.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := map[string]bool{}
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	var label []byte
+	for _, m := range uniq {
+		label = append(label[:0], m...)
+		label = append(label, '#')
+		base := len(label)
+		for i := 0; i < vnodes; i++ {
+			label = appendInt(label[:base], i)
+			r.points = append(r.points, ringPoint{hash: mix64(fnv64a(string(label))), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// appendInt appends the decimal rendering of i (i ≥ 0) to b.
+func appendInt(b []byte, i int) []byte {
+	if i == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	p := len(tmp)
+	for i > 0 {
+		p--
+		tmp[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(b, tmp[p:]...)
+}
+
+// Members returns the ring's member set, sorted. Callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Owner returns the member owning key: the member of the first ring point
+// at or after fnv64a(key), wrapping past the top. When several members
+// collide on exactly that point hash, the rendezvous score
+// mix(memberHash ^ keyHash·prime) breaks the tie deterministically.
+// An empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	return r.OwnerAvoiding(key, "")
+}
+
+// OwnerAvoiding returns the owner of key skipping every point of member
+// avoid — the ring successor used for single failover when the owner is
+// dead. With avoid == "" it is Owner. Returns "" when no other member
+// exists.
+func (r *Ring) OwnerAvoiding(key, avoid string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := mix64(fnv64a(key))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for off := 0; off < len(r.points); off++ {
+		i := start + off
+		if i >= len(r.points) {
+			i -= len(r.points)
+		}
+		p := r.points[i]
+		if p.member == avoid {
+			continue
+		}
+		// Collect members colliding on this exact point hash (excluding
+		// avoid) and rendezvous-break the tie.
+		best, bestScore := p.member, mix64(fnv64a(p.member)^h*0x9e3779b97f4a7c15)
+		for j := i + 1; j < len(r.points) && r.points[j].hash == p.hash; j++ {
+			m := r.points[j].member
+			if m == avoid || m == best {
+				continue
+			}
+			if sc := mix64(fnv64a(m) ^ h*0x9e3779b97f4a7c15); sc > bestScore {
+				best, bestScore = m, sc
+			}
+		}
+		return best
+	}
+	return ""
+}

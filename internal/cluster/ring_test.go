@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossOrderings is the clustering subsystem's core
+// contract: the ring is a pure function of the member *set*, so replicas
+// that receive the peer list in different orders still agree on every
+// key's owner.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	members := ringMembers(5)
+	ref := NewRing(members, 64)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Duplicates must not perturb placement either.
+		shuffled = append(shuffled, shuffled[0], shuffled[2])
+		r := NewRing(shuffled, 64)
+		for k := 0; k < 1000; k++ {
+			key := fmt.Sprintf("gs%032x", k)
+			if got, want := r.Owner(key), ref.Owner(key); got != want {
+				t.Fatalf("trial %d key %q: owner %q, reference ring says %q", trial, key, got, want)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes spread keys roughly evenly: with 64
+// vnodes per member, no member of a 4-replica ring should own more than
+// twice its fair share of 10k random keys.
+func TestRingBalance(t *testing.T) {
+	members := ringMembers(4)
+	r := NewRing(members, 64)
+	counts := map[string]int{}
+	const keys = 10000
+	for k := 0; k < keys; k++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", k))]++
+	}
+	fair := keys / len(members)
+	for _, m := range members {
+		if c := counts[m]; c == 0 || c > 2*fair {
+			t.Errorf("member %s owns %d of %d keys (fair share %d)", m, c, keys, fair)
+		}
+	}
+}
+
+// TestRingMinimalRehoming checks the consistent-hashing property: removing
+// one member of five moves only that member's keys — every key owned by a
+// survivor keeps its owner.
+func TestRingMinimalRehoming(t *testing.T) {
+	members := ringMembers(5)
+	full := NewRing(members, 64)
+	removed := members[2]
+	shrunk := NewRing(append(append([]string(nil), members[:2]...), members[3:]...), 64)
+	moved := 0
+	const keys = 5000
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("graph-%d", k)
+		before, after := full.Owner(key), shrunk.Owner(key)
+		if before != removed {
+			if after != before {
+				t.Fatalf("key %q moved %q → %q though its owner survived", key, before, after)
+			}
+			continue
+		}
+		moved++
+		if after == removed {
+			t.Fatalf("key %q still owned by removed member", key)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; balance test should have caught this")
+	}
+}
+
+// TestRingOwnerAvoiding checks the failover successor: it is never the
+// avoided member, is stable, and agrees with Owner on rings that do not
+// contain the avoided member at all.
+func TestRingOwnerAvoiding(t *testing.T) {
+	members := ringMembers(5)
+	full := NewRing(members, 64)
+	avoid := members[1]
+	shrunk := NewRing(append(append([]string(nil), members[:1]...), members[2:]...), 64)
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("graph-%d", k)
+		succ := full.OwnerAvoiding(key, avoid)
+		if succ == avoid {
+			t.Fatalf("key %q: successor is the avoided member", key)
+		}
+		// Skipping a member's points must agree with a ring built without it.
+		if want := shrunk.Owner(key); succ != want {
+			t.Fatalf("key %q: OwnerAvoiding=%q, ring-without-member says %q", key, succ, want)
+		}
+	}
+	if got := full.OwnerAvoiding("anything", ""); got != full.Owner("anything") {
+		t.Fatalf("avoid=\"\" must degrade to Owner; got %q want %q", got, full.Owner("anything"))
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 64)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	solo := NewRing([]string{"http://only"}, 64)
+	if got := solo.Owner("k"); got != "http://only" {
+		t.Fatalf("solo ring owner = %q", got)
+	}
+	if got := solo.OwnerAvoiding("k", "http://only"); got != "" {
+		t.Fatalf("avoiding the only member must return \"\"; got %q", got)
+	}
+}
+
+// BenchmarkClusterRoute measures one routing decision — the per-request
+// cost a clustered replica pays before any local work.
+func BenchmarkClusterRoute(b *testing.B) {
+	r := NewRing(ringMembers(5), 64)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gs%032x", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Owner(keys[i&1023]) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"distcolor/internal/cluster"
 )
 
 // BenchmarkServeThroughput is the serving-layer acceptance benchmark: a
@@ -51,10 +53,77 @@ func benchThroughput(b *testing.B, noObs bool, seedFor func(int) uint64) {
 		ts.Close()
 		s.Close()
 	}()
+	runThroughput(b, ts.URL, noObs, seedFor, "apollonian:2000", 7)
+}
 
+// BenchmarkServeThroughputCluster is BenchmarkServeThroughput on a
+// clustered replica whose ring has three members (two unreachable fake
+// peers, prober off, so the ring never shrinks): every request pays the
+// real routing decision — route-key derivation plus ring lookup — but the
+// benched graph is owned by self, so nothing forwards. `make bench-cluster`
+// gates it within 10% of the standalone twin: the clustering tier must be
+// ~free on the owned-graph path.
+func BenchmarkServeThroughputCluster(b *testing.B) {
+	sw := &swappableHandler{}
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+	s := New(Options{Workers: 4, QueueDepth: 4096, Cluster: &cluster.Config{
+		Self:          ts.URL,
+		Peers:         []string{ts.URL, "http://192.0.2.1:9", "http://192.0.2.2:9"},
+		ProbeInterval: -1,
+	}})
+	s.noObs = true
+	sw.set(s)
+	defer s.Close()
+	spec, seed := specOwnedBy(b, s, ts.URL)
+	runThroughput(b, ts.URL, true, func(int) uint64 { return 1 }, spec, seed)
+}
+
+// BenchmarkServeThroughputForward measures the forwarded path: two real
+// replicas, the client hammering the one that does not own the graph, so
+// every request takes one proxy hop to the owner. Recorded (not gated) in
+// BENCH_PR.json as the cost of a remote-owned graph.
+func BenchmarkServeThroughputForward(b *testing.B) {
+	swaps := []*swappableHandler{{}, {}}
+	ts0, ts1 := httptest.NewServer(swaps[0]), httptest.NewServer(swaps[1])
+	defer ts0.Close()
+	defer ts1.Close()
+	urls := []string{ts0.URL, ts1.URL}
+	servers := make([]*Server, 2)
+	for i := range servers {
+		servers[i] = New(Options{Workers: 4, QueueDepth: 4096, Cluster: &cluster.Config{
+			Self:          urls[i],
+			Peers:         urls,
+			ProbeInterval: -1,
+		}})
+		servers[i].noObs = true
+		swaps[i].set(servers[i])
+		defer servers[i].Close()
+	}
+	spec, seed := specOwnedBy(b, servers[0], urls[1])
+	runThroughput(b, urls[0], true, func(int) uint64 { return 1 }, spec, seed)
+}
+
+// specOwnedBy scans generator seeds until the graph's deterministic ID is
+// owned by the wanted replica in s's ring view.
+func specOwnedBy(b *testing.B, s *Server, owner string) (string, uint64) {
+	const spec = "apollonian:2000"
+	for seed := uint64(1); seed < 10000; seed++ {
+		if s.cluster.Owner(specGraphID(specKeyFor(spec, seed))) == owner {
+			return spec, seed
+		}
+	}
+	b.Fatalf("no seed below 10000 routes %s to %s", spec, owner)
+	return "", 0
+}
+
+// runThroughput drives the shared workload: upload (spec, genSeed) through
+// url once, then hammer identical planar6 jobs on the returned graph ID
+// from 16 concurrent clients.
+func runThroughput(b *testing.B, url string, noObs bool, seedFor func(int) uint64, spec string, genSeed uint64) {
 	// Upload once; every job hits the graph cache.
-	upload, _ := json.Marshal(uploadRequest{Gen: "apollonian:2000", Seed: 7})
-	resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", bytes.NewReader(upload))
+	upload, _ := json.Marshal(uploadRequest{Gen: spec, Seed: genSeed})
+	resp, err := http.Post(url+"/v1/graphs", "application/json", bytes.NewReader(upload))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -68,7 +137,7 @@ func benchThroughput(b *testing.B, noObs bool, seedFor func(int) uint64) {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
 	post := func(seed uint64) error {
 		body, _ := json.Marshal(map[string]any{"graph": gj.ID, "algo": "planar6", "seed": seed})
-		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=true&timeout=60s", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs?wait=true&timeout=60s", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}

@@ -29,6 +29,17 @@ type serveMetrics struct {
 	// quantity queue-depth gauges only hint at.
 	queueWait *obs.Histogram
 
+	// Cluster instruments, created by wire only on a clustered (or
+	// quota-enforcing) server so a standalone /metrics stays free of
+	// distcolor_cluster_* families. forwardHops counts request attempts
+	// (retries and failover included); forwards* count completed forwards
+	// by outcome.
+	forwardsOK       *obs.Counter
+	forwardsFailover *obs.Counter
+	forwardsError    *obs.Counter
+	forwardHops      *obs.Counter
+	quotaRejections  *obs.Counter
+
 	// httpReqs/httpLat cache the per-endpoint series so the request path
 	// pays an RLock'd map hit instead of the registry's label rendering.
 	mu       sync.RWMutex
@@ -87,6 +98,41 @@ func (m *serveMetrics) wire(s *Server) {
 	reg.CounterFunc("distcolor_graph_store_evictions_total",
 		"Graphs evicted by the LRU weight bound.", nil,
 		func() float64 { return float64(s.store.Evicted()) })
+	if s.cluster != nil {
+		const forwardsHelp = "Requests forwarded to their owning replica, by outcome."
+		m.forwardsOK = reg.Counter("distcolor_cluster_forwards_total", forwardsHelp,
+			obs.Labels{"result": "ok"})
+		m.forwardsFailover = reg.Counter("distcolor_cluster_forwards_total", forwardsHelp,
+			obs.Labels{"result": "failover"})
+		m.forwardsError = reg.Counter("distcolor_cluster_forwards_total", forwardsHelp,
+			obs.Labels{"result": "error"})
+		m.forwardHops = reg.Counter("distcolor_cluster_forward_hops_total",
+			"Forward request attempts, retries and failover hops included.", nil)
+		reg.GaugeFunc("distcolor_cluster_ring_size",
+			"Healthy replicas in this replica's ring view (self included).", nil,
+			func() float64 { return float64(len(s.cluster.Members())) })
+		for _, st := range s.cluster.PeerStates() {
+			url := st.URL
+			reg.GaugeFunc("distcolor_cluster_peer_up",
+				"Peer health as this replica sees it (1 = in the ring).",
+				obs.Labels{"peer": url},
+				func() float64 {
+					for _, ps := range s.cluster.PeerStates() {
+						if ps.URL == url && ps.Up {
+							return 1
+						}
+					}
+					return 0
+				})
+		}
+	}
+	if s.quota != nil {
+		m.quotaRejections = reg.Counter("distcolor_cluster_quota_rejections_total",
+			"Requests rejected by a client's drained quota bucket.", nil)
+		reg.GaugeFunc("distcolor_cluster_quota_clients",
+			"Client token buckets currently tracked.", nil,
+			func() float64 { return float64(s.quota.Clients()) })
+	}
 }
 
 // observeHTTP records one served request into the per-endpoint latency

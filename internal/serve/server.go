@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"distcolor"
+	"distcolor/internal/cluster"
 	"distcolor/internal/graph"
 	"distcolor/internal/obs"
 	"distcolor/internal/serve/runcfg"
@@ -84,6 +85,18 @@ type Options struct {
 	// TraceSeed, when non-zero, makes trace/span/request IDs a pure
 	// function of allocation order — deterministic tests and exports.
 	TraceSeed uint64
+	// Cluster, when non-nil, joins this replica to a serving fleet: requests
+	// for fleet-deterministic graphs route to their consistent-hash owner
+	// (see internal/cluster). nil serves standalone. An invalid config
+	// panics — a replica that cannot join its fleet must not come up
+	// half-configured (same contract as NewGraphStore).
+	Cluster *cluster.Config
+	// QuotaRPS, when positive, enforces a per-client token-bucket rate on
+	// submissions and uploads at the ingress replica (key: the
+	// X-Distcolor-Client header, else the remote host). 0 disables quotas.
+	QuotaRPS float64
+	// QuotaBurst is the quota bucket size (default max(1, QuotaRPS)).
+	QuotaBurst float64
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +132,8 @@ type Server struct {
 	log     *slog.Logger
 	mux     *http.ServeMux
 	tracer  *obs.Tracer
+	cluster *cluster.Node  // nil when serving standalone
+	quota   *cluster.Quota // nil when quotas are off
 
 	// submitMu makes intern→enqueue→rollback one atomic step (see
 	// submitJobs); without it a 429 rollback could release a job another
@@ -157,6 +172,20 @@ func New(opts Options) *Server {
 		}),
 	}
 	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
+	if opts.Cluster != nil {
+		cfg := *opts.Cluster
+		if cfg.Logger == nil {
+			cfg.Logger = opts.Logger
+		}
+		node, err := cluster.NewNode(cfg)
+		if err != nil {
+			panic("serve: " + err.Error())
+		}
+		s.cluster = node
+	}
+	if opts.QuotaRPS > 0 {
+		s.quota = cluster.NewQuota(opts.QuotaRPS, opts.QuotaBurst)
+	}
 	metrics.wire(s)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleUploadGraph)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJobs)
@@ -229,6 +258,13 @@ func (w *statusWriter) Flush() {
 // ("GET /v1/jobs/{id}"), never the raw path, so cardinality stays bounded
 // by the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil {
+		// Stamp the executing replica. The forwarding proxy overwrites this
+		// with the upstream's stamp, so the client always learns which
+		// replica actually ran the request — the replica to poll for
+		// GET /v1/jobs/{id} on the job it just submitted.
+		w.Header().Set(cluster.ReplicaHeader, s.cluster.Self())
+	}
 	if s.noObs {
 		s.mux.ServeHTTP(w, r)
 		return
@@ -268,8 +304,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"ms", float64(elapsed)/float64(time.Millisecond))
 }
 
-// Close stops the worker pool after draining already-accepted jobs.
-func (s *Server) Close() { s.sched.Close() }
+// Close stops the worker pool after draining already-accepted jobs, and the
+// cluster node's background prober when clustered.
+func (s *Server) Close() {
+	s.sched.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+}
 
 // execute runs one job on a worker. Jobs cancelled while still queued are
 // skipped (the canceller already terminalized them); running jobs observe
@@ -473,6 +515,9 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // graph.ReadEdgeList format (any other content type). The edge list is
 // streamed straight into the CSR builder; it is never buffered whole.
 func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.admitQuota(w, r) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/json") {
@@ -492,6 +537,11 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.Gen == "" {
 			writeError(w, http.StatusBadRequest, "missing \"gen\" spec")
+			return
+		}
+		// A gen-spec upload materializes the graph on the replica that owns
+		// its deterministic ID, so subsequent jobs on that ID find it hot.
+		if s.maybeForward(w, r, raw, specGraphID(specKeyFor(req.Gen, req.Seed))) {
 			return
 		}
 		id, g, cached, err := s.store.AddSpec(req.Gen, req.Seed, func() (*graph.Graph, error) {
@@ -527,6 +577,9 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 // Retry-After hint. With ?wait=true the handler blocks (up to ?timeout,
 // default 30s) until every submitted job is terminal.
 func (s *Server) handleSubmitJobs(w http.ResponseWriter, r *http.Request) {
+	if !s.admitQuota(w, r) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 	raw, err := io.ReadAll(body)
 	if err != nil {
@@ -556,6 +609,12 @@ func (s *Server) handleSubmitJobs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		reqs = []jobRequest{single}
+	}
+	// Route to the owning replica when the whole submission shares one
+	// remote owner; the raw body is replayed verbatim, so forwarded and
+	// local submissions are byte-identical requests.
+	if s.maybeForwardJobs(w, r, raw, reqs) {
+		return
 	}
 	s.submitJobs(w, r, reqs, batch)
 }
@@ -972,10 +1031,11 @@ func streamColors(w http.ResponseWriter, colors []int, from, count int, ranged b
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// localStats builds this replica's /v1/stats body.
+func (s *Server) localStats() map[string]any {
 	snap := s.stats.Snapshot()
 	used, capacity := s.store.Used()
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"jobs":           snap,
 		"queue_depth":    s.sched.QueueDepth(),
 		"queue_capacity": s.opts.QueueDepth,
@@ -986,7 +1046,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"weight_capacity": capacity,
 			"evicted":         s.store.Evicted(),
 		},
-	})
+	}
+}
+
+// handleStats is GET /v1/stats: this replica's serving statistics, or —
+// with ?fleet=true on a clustered replica — every replica's, plus a summed
+// aggregate (see handleFleetStats).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if f := r.URL.Query().Get("fleet"); (f == "true" || f == "1") && s.cluster != nil {
+		s.handleFleetStats(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.localStats())
 }
 
 // handleTrace is GET /v1/jobs/{id}/trace: the per-round execution trace of
@@ -1075,6 +1146,29 @@ func (s *Server) FlightDump(w io.Writer) error {
 	return obs.WriteSpansJSON(w, s.tracer.Spans())
 }
 
+// handleHealthz is GET /healthz: liveness plus the state a peer (or an
+// operator) needs to reason about this replica's place in the fleet — graph
+// residency and, when clustered, this replica's ring view and per-peer
+// health. The cluster prober reads only the status code; the body is for
+// humans and tests.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	used, capacity := s.store.Used()
+	body := map[string]any{
+		"ok": true,
+		"graphs": map[string]any{
+			"cached":          s.store.Len(),
+			"weight_used":     used,
+			"weight_capacity": capacity,
+		},
+	}
+	if s.cluster != nil {
+		members := s.cluster.Members()
+		body["replica"] = s.cluster.Self()
+		body["cluster"] = map[string]any{
+			"ring":      members,
+			"ring_size": len(members),
+			"peers":     s.cluster.PeerStates(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }

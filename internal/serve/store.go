@@ -2,7 +2,11 @@ package serve
 
 import (
 	"container/list"
+	"encoding/hex"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
 	"sync"
 
 	"distcolor/internal/graph"
@@ -36,6 +40,32 @@ type storedGraph struct {
 	g       *graph.Graph
 	weight  int64
 	specKey string // non-empty for gen-spec graphs (dedup key)
+}
+
+// specIDPrefix marks graph IDs derived from a generator spec. Such IDs are
+// a pure function of (spec, seed), so every replica computes the same ID
+// for the same graph — the property the cluster tier routes on. Sequence
+// IDs ("g1", "g2", …) can never collide with the prefix: their second byte
+// is a digit.
+const specIDPrefix = "gs"
+
+// specKeyFor is the store's dedup key for one generated graph. Seed first:
+// it is digits-only, so the first '@' always delimits it and a spec
+// containing '@' can never collide with another (spec, seed) pair.
+func specKeyFor(spec string, seed uint64) string { return fmt.Sprintf("%d@%s", seed, spec) }
+
+// specGraphID derives the fleet-deterministic graph ID from a store spec
+// key ("seed@spec"): gs + 32 hex characters of FNV-1a-128 over the key.
+func specGraphID(specKey string) string {
+	h := fnv.New128a()
+	io.WriteString(h, specKey)
+	return specIDPrefix + hex.EncodeToString(h.Sum(nil))
+}
+
+// IsSpecGraphID reports whether id is a spec-derived (fleet-routable)
+// graph ID.
+func IsSpecGraphID(id string) bool {
+	return strings.HasPrefix(id, specIDPrefix) && len(id) == len(specIDPrefix)+32
 }
 
 // graphWeight is the store accounting unit for one graph: the CSR offsets
@@ -73,9 +103,7 @@ func (s *GraphStore) Add(g *graph.Graph) (string, error) {
 // on a miss. The graph is returned directly — callers must not re-Get by
 // ID, since a concurrent insert burst could evict the entry in between.
 func (s *GraphStore) AddSpec(spec string, seed uint64, generate func() (*graph.Graph, error)) (id string, g *graph.Graph, cached bool, err error) {
-	// Seed first: it is digits-only, so the first '@' always delimits it and
-	// a spec containing '@' can never collide with another (spec, seed) pair.
-	key := fmt.Sprintf("%d@%s", seed, spec)
+	key := specKeyFor(spec, seed)
 	s.mu.Lock()
 	if el, ok := s.bySpec[key]; ok {
 		s.lru.MoveToFront(el)
@@ -122,8 +150,22 @@ func (s *GraphStore) insert(g *graph.Graph, specKey string) (string, error) {
 		s.remove(oldest)
 		s.evicted++
 	}
-	s.seq++
-	sg := &storedGraph{id: fmt.Sprintf("g%d", s.seq), g: g, weight: w, specKey: specKey}
+	// Spec-derived graphs get the deterministic fleet-routable ID; raw
+	// uploads stay on the replica-local sequence.
+	var id string
+	if specKey != "" {
+		id = specGraphID(specKey)
+		if el, ok := s.items[id]; ok {
+			// A 128-bit collision between distinct spec keys (the only way
+			// to get here — identical keys are deduplicated by bySpec) is
+			// astronomically unlikely; keep the invariant anyway.
+			s.remove(el)
+		}
+	} else {
+		s.seq++
+		id = fmt.Sprintf("g%d", s.seq)
+	}
+	sg := &storedGraph{id: id, g: g, weight: w, specKey: specKey}
 	el := s.lru.PushFront(sg)
 	s.items[sg.id] = el
 	if specKey != "" {
