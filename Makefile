@@ -1,18 +1,18 @@
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test test-serial test-race test-cluster smoke bench-smoke bench bench-json bench-obs bench-cluster fuzz-smoke serve staticcheck trace-demo
+.PHONY: all ci fmt-check vet build test test-serial test-race test-cluster test-spill smoke convert-smoke bench-smoke bench bench-json bench-obs bench-cluster bench-load fuzz-smoke serve staticcheck trace-demo
 
 # Benchmarks recorded in the persistent BENCH_PR.json trajectory (and gated
 # by bench-smoke): the engine acceptance suite plus the graph-layer
 # primitives its hot path leans on, and the instrumented (Obs) twins of the
 # delivery and serving benchmarks so the trajectory records observability
 # cost alongside raw cost.
-BENCH_JSON_PAT = BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery|BenchmarkHappySet|BenchmarkBlocks|BenchmarkGallai|BenchmarkBFS|BenchmarkDegeneracy|BenchmarkGirth|BenchmarkDegreeListColor|BenchmarkServeThroughput$$|BenchmarkServeThroughputObs$$|BenchmarkServeThroughputCluster$$|BenchmarkServeThroughputForward$$|BenchmarkClusterRoute
+BENCH_JSON_PAT = BenchmarkSparseListColor|BenchmarkCollectBallsSync|BenchmarkRunSyncDelivery|BenchmarkHappySet|BenchmarkBlocks|BenchmarkGallai|BenchmarkBFS|BenchmarkDegeneracy|BenchmarkGirth|BenchmarkDegreeListColor|BenchmarkServeThroughput$$|BenchmarkServeThroughputObs$$|BenchmarkServeThroughputCluster$$|BenchmarkServeThroughputForward$$|BenchmarkServeThroughputSpill$$|BenchmarkClusterRoute|BenchmarkGraphLoad
 BENCH_JSON_PKGS = . ./internal/graph ./internal/seqcolor ./internal/serve ./internal/cluster
 
 all: ci
 
-ci: fmt-check vet build test test-serial test-race test-cluster smoke bench-smoke fuzz-smoke
+ci: fmt-check vet build test test-serial test-race test-cluster test-spill smoke convert-smoke bench-smoke fuzz-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -50,10 +50,27 @@ test-cluster:
 	$(GO) test -race -count=1 ./internal/cluster/...
 	$(GO) test -race -count=1 -run 'TestCluster' ./internal/serve
 
+# Out-of-core suite under the race detector: .dcsr round-trip/rejection and
+# external-memory conversion at the graph layer, spill/readmit lifecycle and
+# the byte-identical end-to-end acceptance at the serve layer.
+test-spill:
+	$(GO) test -race -count=1 -run 'DCSR|Convert|Spill|BinaryColors|MirrorWeight' ./internal/graph ./internal/serve
+
 # Registry-driven CLI smoke: runs every distcolor.Algorithms() entry on its
 # tiny Algorithm.Smoke graph through the same wire path the server uses.
 smoke:
 	$(GO) run ./cmd/distcolor -smoke
+
+# Binary-format round trip through the real binaries: convert a generated
+# graph to .dcsr with a deliberately tiny scatter budget, load and color it
+# through the CLI's sniffing loader, then drive a spill-enabled server
+# end-to-end over HTTP (x-dcsr upload, job, binary colors download).
+convert-smoke:
+	rm -rf bin/convert-smoke && mkdir -p bin/convert-smoke
+	$(GO) run ./cmd/distcolor convert -gen apollonian:3000 -seed 7 -out bin/convert-smoke/g.dcsr -verify
+	$(GO) run ./cmd/distcolor -load bin/convert-smoke/g.dcsr -algo planar6 -o bin/convert-smoke/colors.bin
+	$(GO) build -o bin/convert-smoke/distcolor-serve ./cmd/distcolor-serve
+	python3 scripts/convert_smoke.py bin/convert-smoke
 
 # Static analysis (CI runs this via the staticcheck action; locally the
 # module is fetched on demand, so network access is required once).
@@ -105,6 +122,15 @@ bench-cluster:
 	$(GO) test -run xxx -count 3 -benchtime 100x -bench 'BenchmarkServeThroughput(Cluster)?$$' ./internal/serve \
 		| $(GO) run ./cmd/benchjson -overhead Cluster -overhead-tolerance 1.10
 
+# Zero-copy load gate: at n=10⁶ the mmap'd .dcsr open must be at least 10×
+# faster than the text edge-list parse (it is usually orders of magnitude
+# faster — the gate is deliberately loose so slow CI disks pass). -faster
+# errors out if either benchmark goes missing, so a rename cannot quietly
+# disable the gate.
+bench-load:
+	$(GO) test -run xxx -count 3 -benchtime 3x -bench 'BenchmarkGraphLoad' ./internal/graph \
+		| $(GO) run ./cmd/benchjson -faster 'BenchmarkGraphLoad/dcsr-mmap<BenchmarkGraphLoad/text' -speedup 10
+
 # Run one real job and emit a viewable span trace: open trace-demo.json
 # as-is in https://ui.perfetto.dev (or chrome://tracing). The same span
 # tree is what the server records per request (GET /v1/traces/{id}).
@@ -112,10 +138,12 @@ trace-demo:
 	$(GO) run ./cmd/distcolor -gen apollonian:20000 -algo planar6 -spans trace-demo.json
 	@echo "wrote trace-demo.json — open it in https://ui.perfetto.dev"
 
-# Short native-fuzz smoke over the edge-list parser (the committed seed
-# corpus always runs in plain `go test`; this explores beyond it).
+# Short native-fuzz smoke over the two graph decoders — the text edge-list
+# parser and the binary .dcsr reader (the committed seed corpora always run
+# in plain `go test`; this explores beyond them).
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzReadEdgeList -fuzztime 15s ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzReadDCSR -fuzztime 15s ./internal/graph
 
 # Full engine benchmark sweep (slow; use benchstat across commits).
 bench:

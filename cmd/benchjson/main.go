@@ -2,17 +2,24 @@
 // repository's persistent benchmark trajectory file (BENCH_PR.json) and
 // gates regressions against a committed baseline.
 //
-// Three modes, composable in one invocation:
+// Four modes, composable in one invocation:
 //
 //	go test -run xxx -bench ... -benchmem ./... | benchjson -out BENCH_PR.json
 //	go test -run xxx -bench ... -benchmem ./... | benchjson -check BENCH_PR.json -tolerance 1.5
 //	go test -run xxx -bench 'X(Obs)?$' ./... | benchjson -overhead Obs -overhead-tolerance 1.05
+//	go test -run xxx -bench GraphLoad ./... | benchjson -faster 'BenchmarkGraphLoad/dcsr-mmap<BenchmarkGraphLoad/text' -speedup 10
 //
 // -overhead pairs benchmarks WITHIN one run: each benchmark whose top-level
 // name ends in the suffix (BenchmarkFooObs, BenchmarkFooObs/case) is gated
 // against its unsuffixed twin (BenchmarkFoo, BenchmarkFoo/case) from the
 // same input — the instrumentation-overhead guard, free of any committed
 // baseline. Suffixed benchmarks without a twin are ignored.
+//
+// -faster "A<B" asserts a speedup RATIO within one run: benchmark A's ns/op
+// × -speedup must not exceed benchmark B's ns/op (i.e. A is at least
+// -speedup× faster than B). Unlike -overhead, both names are explicit and
+// MISSING names fail the gate — a renamed benchmark cannot silently turn
+// the check into a no-op.
 //
 // The emitted JSON maps each benchmark name (GOMAXPROCS suffix stripped) to
 // its ns/op and allocs/op. When a benchmark appears more than once in the
@@ -143,6 +150,33 @@ func checkOverhead(results map[string]Result, suffix string, tolerance float64) 
 	return bad
 }
 
+// checkFaster enforces one "A<B" speedup claim inside a single result set:
+// A's ns/op × speedup ≤ B's ns/op. A missing benchmark is an error, not a
+// pass — the gate must notice when a rename detaches it from reality.
+func checkFaster(results map[string]Result, claim string, speedup float64) error {
+	fast, slow, ok := strings.Cut(claim, "<")
+	fast, slow = strings.TrimSpace(fast), strings.TrimSpace(slow)
+	if !ok || fast == "" || slow == "" {
+		return fmt.Errorf("benchjson: -faster wants \"fastName<slowName\", got %q", claim)
+	}
+	if speedup <= 0 {
+		return fmt.Errorf("benchjson: -speedup must be positive, got %v", speedup)
+	}
+	fr, ok := results[fast]
+	if !ok {
+		return fmt.Errorf("benchjson: -faster: benchmark %q not in input", fast)
+	}
+	sr, ok := results[slow]
+	if !ok {
+		return fmt.Errorf("benchjson: -faster: benchmark %q not in input", slow)
+	}
+	if fr.NsPerOp*speedup > sr.NsPerOp {
+		return fmt.Errorf("benchjson: %s is only %.2fx faster than %s (%.0f vs %.0f ns/op), want ≥ %.2fx",
+			fast, sr.NsPerOp/fr.NsPerOp, slow, fr.NsPerOp, sr.NsPerOp, speedup)
+	}
+	return nil
+}
+
 func loadBaseline(path string) (map[string]Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -155,10 +189,16 @@ func loadBaseline(path string) (map[string]Result, error) {
 	return out, nil
 }
 
-func run(in io.Reader, stderr io.Writer, outPath, checkPath string, tolerance float64, overhead string, overheadTol float64) error {
+func run(in io.Reader, stderr io.Writer, outPath, checkPath string, tolerance float64, overhead string, overheadTol float64, faster string, speedup float64) error {
 	results, err := parse(in)
 	if err != nil {
 		return err
+	}
+	if faster != "" {
+		if err := checkFaster(results, faster, speedup); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "benchjson: %s holds at ≥ %.2fx\n", faster, speedup)
 	}
 	if overhead != "" {
 		if bad := checkOverhead(results, overhead, overheadTol); len(bad) > 0 {
@@ -197,12 +237,14 @@ func main() {
 	tolerance := flag.Float64("tolerance", 1.5, "fail when ns/op exceeds baseline × tolerance")
 	overhead := flag.String("overhead", "", "benchmark-name suffix to gate against its unsuffixed twin in the same run")
 	overheadTol := flag.Float64("overhead-tolerance", 1.05, "fail when a suffixed benchmark exceeds its twin × this")
+	faster := flag.String("faster", "", "speedup claim \"fastName<slowName\" to enforce within this run (missing names fail)")
+	speedup := flag.Float64("speedup", 1, "minimum ratio for -faster: fast ns/op × speedup must not exceed slow ns/op")
 	flag.Parse()
-	if *outPath == "" && *checkPath == "" && *overhead == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: need -out, -check and/or -overhead")
+	if *outPath == "" && *checkPath == "" && *overhead == "" && *faster == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: need -out, -check, -overhead and/or -faster")
 		os.Exit(2)
 	}
-	if err := run(os.Stdin, os.Stderr, *outPath, *checkPath, *tolerance, *overhead, *overheadTol); err != nil {
+	if err := run(os.Stdin, os.Stderr, *outPath, *checkPath, *tolerance, *overhead, *overheadTol, *faster, *speedup); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -72,7 +72,7 @@ func TestRunRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_PR.json")
 	var stderr strings.Builder
-	if err := run(strings.NewReader(sampleOutput), &stderr, out, "", 1.5, "", 1.05); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &stderr, out, "", 1.5, "", 1.05, "", 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -87,7 +87,7 @@ func TestRunRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped %d benchmarks, want 3", len(decoded))
 	}
 	// The file it wrote passes as its own baseline...
-	if err := run(strings.NewReader(sampleOutput), &stderr, "", out, 1.5, "", 1.05); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &stderr, "", out, 1.5, "", 1.05, "", 1); err != nil {
 		t.Fatal(err)
 	}
 	// ...and fails against a baseline it beats by more than the tolerance.
@@ -96,7 +96,7 @@ func TestRunRoundTrip(t *testing.T) {
 	if err := os.WriteFile(tightPath, tight, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(strings.NewReader(sampleOutput), &stderr, "", tightPath, 1.5, "", 1.05); err == nil {
+	if err := run(strings.NewReader(sampleOutput), &stderr, "", tightPath, 1.5, "", 1.05, "", 1); err == nil {
 		t.Fatal("expected regression failure against tight baseline")
 	}
 }
@@ -120,15 +120,59 @@ func TestCheckOverhead(t *testing.T) {
 	}
 }
 
+func TestCheckFaster(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkGraphLoad/dcsr-mmap": {NsPerOp: 50},
+		"BenchmarkGraphLoad/text":      {NsPerOp: 1000},
+	}
+	if err := checkFaster(results, "BenchmarkGraphLoad/dcsr-mmap<BenchmarkGraphLoad/text", 10); err != nil {
+		t.Fatalf("20x actual speedup failed a 10x gate: %v", err)
+	}
+	if err := checkFaster(results, "BenchmarkGraphLoad/dcsr-mmap<BenchmarkGraphLoad/text", 30); err == nil {
+		t.Fatal("20x actual speedup passed a 30x gate")
+	}
+	// Missing names must fail loudly, not pass vacuously.
+	if err := checkFaster(results, "BenchmarkRenamed<BenchmarkGraphLoad/text", 2); err == nil {
+		t.Fatal("missing fast benchmark passed the gate")
+	}
+	if err := checkFaster(results, "BenchmarkGraphLoad/dcsr-mmap<BenchmarkGone", 2); err == nil {
+		t.Fatal("missing slow benchmark passed the gate")
+	}
+	// Malformed claims and nonpositive ratios are usage errors.
+	if err := checkFaster(results, "just-one-name", 2); err == nil {
+		t.Fatal("claim without '<' passed")
+	}
+	if err := checkFaster(results, "BenchmarkGraphLoad/dcsr-mmap<BenchmarkGraphLoad/text", 0); err == nil {
+		t.Fatal("zero speedup passed")
+	}
+}
+
+func TestRunFasterMode(t *testing.T) {
+	const paired = `BenchmarkGraphLoad/text-8       5  10000000 ns/op
+BenchmarkGraphLoad/dcsr-mmap-8  5    100000 ns/op
+`
+	var stderr strings.Builder
+	claim := "BenchmarkGraphLoad/dcsr-mmap<BenchmarkGraphLoad/text"
+	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "", 1.05, claim, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "holds at") {
+		t.Fatalf("no confirmation line on stderr: %q", stderr.String())
+	}
+	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "", 1.05, claim, 500); err == nil {
+		t.Fatal("100x actual speedup passed a 500x gate")
+	}
+}
+
 func TestRunOverheadMode(t *testing.T) {
 	const paired = `BenchmarkRunSyncDelivery-8     5  1000000 ns/op
 BenchmarkRunSyncDeliveryObs-8  5  1200000 ns/op
 `
 	var stderr strings.Builder
-	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "Obs", 1.05); err == nil {
+	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "Obs", 1.05, "", 1); err == nil {
 		t.Fatal("expected 1.2x overhead to fail the 1.05x gate")
 	}
-	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "Obs", 1.25); err != nil {
+	if err := run(strings.NewReader(paired), &stderr, "", "", 1.5, "Obs", 1.25, "", 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,6 +12,14 @@
 //	curl -s -X POST 'localhost:8080/v1/jobs?wait=true' \
 //	    -d '{"graph":"gs7af8d5bda4f2ee6138d200effb4cd8d1","algo":"planar6"}'
 //
+// With -spill-dir the graph store runs out-of-core: evicted graphs are kept
+// as .dcsr binary images on disk (bounded by -spill-max-bytes) and paged
+// back in by mmap on the next request; POST /v1/graphs additionally accepts
+// Content-Type application/x-dcsr bodies (see `distcolor convert`), text
+// uploads above -convert-upload bytes stream through the external-memory
+// converter, and GET /v1/jobs/{id}/colors serves raw little-endian int32
+// colors under Accept: application/octet-stream.
+//
 // With -self and -peers the process joins a serving fleet (internal/cluster):
 // gen-spec graphs route by their deterministic content-derived ID over a
 // consistent-hash ring, misrouted requests are proxied to the owner (with
@@ -70,6 +78,10 @@ func run() error {
 	retain := flag.Int("retain", 4096, "terminal jobs kept for GET /v1/jobs and coalescing")
 	maxUpload := flag.Int64("max-upload", 64<<20, "largest accepted request body in bytes")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none); exceeded jobs abort within one LOCAL round")
+	spillDir := flag.String("spill-dir", "", "spill evicted graphs as .dcsr images under this directory and re-admit them by page map (empty = evictions forget)")
+	spillMax := flag.Int64("spill-max-bytes", 0, "disk budget for spilled .dcsr images (0 = 4 GiB default, negative = unbounded); needs -spill-dir")
+	convertUpload := flag.Int64("convert-upload", 0, "text graph uploads larger than this many bytes stream through the external-memory .dcsr converter instead of parsing in RAM (0 = 16 MiB default, negative = off); needs -spill-dir")
+	convertMem := flag.Int64("convert-mem", 0, "adjacency slab budget in bytes for upload conversion (0 = 256 MiB default)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceSample := flag.Float64("trace-sample", 1.0, "head-sampling probability for new traces in [0,1]; negative samples nothing (root spans still flight-record)")
 	traceRing := flag.Int("trace-ring", 4096, "span flight-recorder capacity (rounded up to a power of two)")
@@ -94,18 +106,22 @@ func run() error {
 	logger := slog.New(handler)
 
 	opts := serve.Options{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		GraphCacheWeight: *cacheWeight,
-		RetainJobs:       *retain,
-		MaxUploadBytes:   *maxUpload,
-		JobTimeout:       *jobTimeout,
-		Logger:           logger,
-		EnablePprof:      *pprofFlag,
-		TraceSample:      *traceSample,
-		TraceRing:        *traceRing,
-		QuotaRPS:         *quotaRPS,
-		QuotaBurst:       *quotaBurst,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		GraphCacheWeight:   *cacheWeight,
+		RetainJobs:         *retain,
+		MaxUploadBytes:     *maxUpload,
+		JobTimeout:         *jobTimeout,
+		SpillDir:           *spillDir,
+		SpillMaxBytes:      *spillMax,
+		ConvertUploadBytes: *convertUpload,
+		ConvertMemBudget:   *convertMem,
+		Logger:             logger,
+		EnablePprof:        *pprofFlag,
+		TraceSample:        *traceSample,
+		TraceRing:          *traceRing,
+		QuotaRPS:           *quotaRPS,
+		QuotaBurst:         *quotaBurst,
 	}
 	if *peers != "" {
 		if *self == "" {

@@ -13,10 +13,16 @@
 //	distcolor -gen apollonian:100000 -algo planar6 -spans spans.json
 //	distcolor -gen klein:5x9 -algo chromatic
 //	distcolor -load graph.txt -algo gps7
+//	distcolor convert -in graph.txt -out graph.dcsr -mem-budget 64MiB
+//	distcolor -load graph.dcsr -algo planar6 -o colors.bin
 //	distcolor -list-algos
 //	distcolor -smoke
 //
-// Graph files: first line "n", then one "u v" edge per line (0-based).
+// Graph files: first line "n", then one "u v" edge per line (0-based) — or
+// a .dcsr binary graph (see `distcolor convert`), which -load detects by
+// signature and page-maps instead of parsing. -o writes the coloring to a
+// file; -oformat picks text (one color per line) or bin (raw little-endian
+// int32, the server's binary colors wire format).
 //
 // The set of algorithms, their parameters and their defaults come from the
 // distcolor Algorithm registry, shared with the public API and the
@@ -32,11 +38,14 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,7 +61,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		err = runConvert(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "distcolor:", err)
 		os.Exit(1)
 	}
@@ -73,6 +88,8 @@ func run() error {
 	progress := flag.Bool("progress", false, "stream live phase progress and round/message rates to stderr")
 	traceOut := flag.String("trace", "", "write the run's round trace as JSON to this file")
 	spansOut := flag.String("spans", "", "write the run's span trace as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	colorsOut := flag.String("o", "", "write the coloring to this file")
+	colorsFormat := flag.String("oformat", "auto", "-o format: text (one color per line), bin (raw little-endian int32), auto (.bin → bin)")
 	verbose := flag.Bool("v", false, "print the per-phase round breakdown")
 	listAlgos := flag.Bool("list-algos", false, "print the registered algorithms with their predicted round bounds (at n=10⁶, Δ=100) and exit")
 	smoke := flag.Bool("smoke", false, "run every registered algorithm on its tiny smoke graph and exit")
@@ -194,7 +211,53 @@ func run() error {
 			fmt.Printf("  %-28s %8d rounds\n", p.Name, p.Rounds)
 		}
 	}
+	if *colorsOut != "" {
+		if res.Colors == nil {
+			return fmt.Errorf("no coloring to write to %s (run found a clique certificate)", *colorsOut)
+		}
+		if err := writeColors(*colorsOut, *colorsFormat, res.Colors); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeColors serializes a coloring: "text" is one decimal color per line,
+// "bin" is the raw little-endian int32 array the server's binary colors
+// endpoint speaks, "auto" picks bin for a .bin path and text otherwise.
+func writeColors(path, format string, colors []int) error {
+	if format == "auto" {
+		if strings.HasSuffix(path, ".bin") {
+			format = "bin"
+		} else {
+			format = "text"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	switch format {
+	case "text":
+		for _, c := range colors {
+			fmt.Fprintln(w, c)
+		}
+	case "bin":
+		var buf [4]byte
+		for _, c := range colors {
+			binary.LittleEndian.PutUint32(buf[:], uint32(int32(c)))
+			w.Write(buf[:])
+		}
+	default:
+		f.Close()
+		return fmt.Errorf("unknown -oformat %q (want text, bin or auto)", format)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // progressPrinter renders live phase progress on stderr, throttled so the
@@ -328,11 +391,27 @@ func printStats(g *graph.Graph) error {
 	return nil
 }
 
+// loadGraph reads either format by sniffing the first four bytes: a .dcsr
+// binary graph is page-mapped in place (falling back to a validated read
+// where mmap is unavailable), anything else parses as a text edge list.
 func loadGraph(path string) (*graph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var magic [4]byte
+	if n, _ := io.ReadFull(f, magic[:]); n == 4 && string(magic[:]) == graph.DCSRMagic {
+		mg, err := graph.OpenDCSR(path)
+		if err != nil {
+			return nil, err
+		}
+		// The mapping lives as long as the graph (process lifetime here);
+		// the graph pins it, so no explicit Close.
+		return mg.Graph, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	return graph.ReadEdgeList(f)
 }

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// convertToBytes runs ConvertEdgeList over text into a temp file and
+// returns the produced image plus the stats.
+func convertToBytes(t *testing.T, text string, budget int64) ([]byte, ConvertStats, error) {
+	t.Helper()
+	open := func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(text)), nil
+	}
+	f, err := os.Create(filepath.Join(t.TempDir(), "out.dcsr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := ConvertEdgeList(open, f, budget)
+	if err != nil {
+		return nil, stats, err
+	}
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, stats, nil
+}
+
+func TestConvertMatchesWriteDCSR(t *testing.T) {
+	for name, g := range dcsrFamily(t) {
+		t.Run(name, func(t *testing.T) {
+			var text bytes.Buffer
+			if _, err := g.WriteTo(&text); err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if _, err := g.WriteDCSR(&want); err != nil {
+				t.Fatal(err)
+			}
+			for _, budget := range []int64{0, convertMinBudget} {
+				got, stats, err := convertToBytes(t, text.String(), budget)
+				if err != nil {
+					t.Fatalf("budget %d: %v", budget, err)
+				}
+				if !bytes.Equal(got, want.Bytes()) {
+					t.Fatalf("budget %d: converter output differs from WriteDCSR", budget)
+				}
+				if stats.N != g.N() || stats.M != g.M() || stats.MaxDeg != g.MaxDegree() {
+					t.Fatalf("budget %d: stats %+v disagree with graph n=%d m=%d Δ=%d",
+						budget, stats, g.N(), g.M(), g.MaxDegree())
+				}
+				if stats.BytesWritten != int64(len(got)) {
+					t.Fatalf("budget %d: BytesWritten = %d, file has %d", budget, stats.BytesWritten, len(got))
+				}
+			}
+		})
+	}
+}
+
+func TestConvertMultiPass(t *testing.T) {
+	// 2000 path edges → 4000 adjacency entries = 16000 bytes; the minimum
+	// budget (4096 bytes = 1024 entries) forces several scatter passes.
+	b := NewBuilder(2001)
+	for i := 0; i < 2000; i++ {
+		b.AddEdgeOK(i, i+1)
+	}
+	g := b.Graph()
+	var text bytes.Buffer
+	if _, err := g.WriteTo(&text); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := convertToBytes(t, text.String(), convertMinBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScatterPasses < 2 {
+		t.Fatalf("expected multiple scatter passes, got %d", stats.ScatterPasses)
+	}
+	var want bytes.Buffer
+	if _, err := g.WriteDCSR(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("multi-pass output differs from WriteDCSR (%d passes)", stats.ScatterPasses)
+	}
+	loaded, err := ReadDCSR(bytes.NewReader(got), int64(len(got)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCSR(t, loaded, g)
+}
+
+func TestConvertRejects(t *testing.T) {
+	cases := map[string]struct {
+		text    string
+		wantSub string
+	}{
+		"self-loop":      {"3\n0 0\n", "self-loop"},
+		"out of range":   {"3\n0 5\n", "out of range"},
+		"duplicate":      {"3\n0 1\n1 0\n", "duplicate edge"},
+		"garbage header": {"x\n", "vertex count expected"},
+		"garbage edge":   {"3\n0 q\n", "want 'u v'"},
+		"empty":          {"", "empty input"},
+		"comments only":  {"# nothing\n", "empty input"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := convertToBytes(t, tc.text, 0)
+			if err == nil {
+				t.Fatal("converter accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestConvertDetectsChangingInput(t *testing.T) {
+	// The opener returns different content on each call — the scatter pass
+	// must notice instead of silently emitting a broken file.
+	inputs := []string{
+		"2001\n0 1\n",
+		"2001\n0 1\n1 2\n",
+	}
+	i := 0
+	open := func() (io.ReadCloser, error) {
+		s := inputs[min(i, len(inputs)-1)]
+		i++
+		return io.NopCloser(strings.NewReader(s)), nil
+	}
+	f, err := os.Create(filepath.Join(t.TempDir(), "out.dcsr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ConvertEdgeList(open, f, 0); err == nil {
+		t.Fatal("converter accepted an input that changed between passes")
+	} else if !strings.Contains(err.Error(), "changed between passes") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

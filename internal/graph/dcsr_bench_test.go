@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// benchLoadFiles lazily materializes one n=1e6 graph (the square of a
+// path: edges (i,i+1) and (i,i+2), m≈2e6) in both formats. Written once
+// per process; the benchmark measures loading, not generation.
+var benchLoad struct {
+	once       sync.Once
+	text, dcsr string
+	err        error
+	n, m       int
+}
+
+func benchLoadFiles(b *testing.B) (text, dcsr string, n, m int) {
+	benchLoad.once.Do(func() {
+		const N = 1_000_000
+		pairs := make([][2]int, 0, 2*N)
+		for i := 0; i+1 < N; i++ {
+			pairs = append(pairs, [2]int{i, i + 1})
+			if i+2 < N {
+				pairs = append(pairs, [2]int{i, i + 2})
+			}
+		}
+		g, err := NewFromPairs(N, pairs)
+		if err != nil {
+			benchLoad.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "benchload")
+		if err != nil {
+			benchLoad.err = err
+			return
+		}
+		textPath := filepath.Join(dir, "g.edges")
+		f, err := os.Create(textPath)
+		if err != nil {
+			benchLoad.err = err
+			return
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		if _, err := g.WriteTo(bw); err != nil {
+			benchLoad.err = err
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			benchLoad.err = err
+			return
+		}
+		f.Close()
+		dcsrPath := filepath.Join(dir, "g.dcsr")
+		f, err = os.Create(dcsrPath)
+		if err != nil {
+			benchLoad.err = err
+			return
+		}
+		bw = bufio.NewWriterSize(f, 1<<20)
+		if _, err := g.WriteDCSR(bw); err != nil {
+			benchLoad.err = err
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			benchLoad.err = err
+			return
+		}
+		f.Close()
+		benchLoad.text, benchLoad.dcsr = textPath, dcsrPath
+		benchLoad.n, benchLoad.m = g.N(), g.M()
+	})
+	if benchLoad.err != nil {
+		b.Fatal(benchLoad.err)
+	}
+	return benchLoad.text, benchLoad.dcsr, benchLoad.n, benchLoad.m
+}
+
+// BenchmarkGraphLoad compares cold-graph load paths at n=1e6, m≈2e6:
+// the text edge-list parse every graph used to pay, the zero-copy mmap
+// admission (O(1) — header validation plus a page map), and the
+// fully-validated ReaderAt fallback. CI gates dcsr-mmap at ≥10× text.
+func BenchmarkGraphLoad(b *testing.B) {
+	text, dcsr, n, m := benchLoadFiles(b)
+
+	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := ReadEdgeList(bufio.NewReaderSize(f, 1<<20))
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.N() != n || g.M() != m {
+				b.Fatalf("loaded n=%d m=%d", g.N(), g.M())
+			}
+		}
+	})
+
+	b.Run("dcsr-mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mg, err := OpenDCSR(dcsr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mg.N() != n || mg.M() != m {
+				b.Fatalf("loaded n=%d m=%d", mg.N(), mg.M())
+			}
+			mg.Close()
+		}
+	})
+
+	b.Run("dcsr-readerat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(dcsr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := f.Stat()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := ReadDCSR(f, st.Size())
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if g.N() != n || g.M() != m {
+				b.Fatalf("loaded n=%d m=%d", g.N(), g.M())
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Graph is an immutable simple undirected graph in CSR form. The zero value
@@ -34,8 +35,14 @@ type Graph struct {
 	degenOnce sync.Once
 	degen     DegeneracyResult
 
-	mirrorOnce sync.Once
-	mirror     []int32
+	mirrorOnce  sync.Once
+	mirror      []int32
+	mirrorBuilt atomic.Bool
+
+	// backing pins the memory that offsets/neighbors alias when the graph
+	// was loaded zero-copy from a .dcsr mapping (see OpenDCSR): as long as
+	// any reference to the Graph lives, the mapping cannot be unmapped.
+	backing any
 
 	scratch sync.Pool // *Traversal, reused by Ball/Components/etc.
 }
@@ -275,9 +282,16 @@ func (g *Graph) Mirror() []int32 {
 			}
 		}
 		g.mirror = mirror
+		g.mirrorBuilt.Store(true)
 	})
 	return g.mirror
 }
+
+// HasMirror reports whether the delivery mirror array has been materialized
+// by a Mirror call. The serve graph store uses it to charge the mirror's
+// memory only once it actually exists: a graph that never ran a
+// message-plane job costs n+2m adjacency entries, not n+4m.
+func (g *Graph) HasMirror() bool { return g.mirrorBuilt.Load() }
 
 // HasEdge reports whether {u,v} ∈ E. Runs in O(log deg(u)).
 func (g *Graph) HasEdge(u, v int) bool {

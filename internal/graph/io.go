@@ -40,46 +40,64 @@ func Read(r io.Reader) (*Graph, error) { return ReadEdgeList(r) }
 // so memory is bounded by the adjacency structure itself. Lines are parsed
 // byte-wise without per-line string allocation.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	var b *Builder
+	err := scanEdgeList(r,
+		func(n int) error { b = NewBuilder(n); return nil },
+		func(u, v int) error { return b.AddEdge(u, v) })
+	if err != nil {
+		return nil, err
+	}
+	return b.Graph(), nil
+}
+
+// scanEdgeList is the streaming tokenizer behind ReadEdgeList, shared with
+// the external-memory converter (ConvertEdgeList) so both parse the exact
+// same dialect: header(n) is called once for the declared vertex count,
+// then edge(u, v) per edge line. Callback errors are wrapped with the line
+// number. An input with no header line at all is an error.
+func scanEdgeList(r io.Reader, header func(n int) error, edge func(u, v int) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	var b *Builder
-	line := 0
+	line, sawHeader := 0, false
 	for sc.Scan() {
 		line++
 		text := bytes.TrimSpace(sc.Bytes())
 		if len(text) == 0 || text[0] == '#' {
 			continue
 		}
-		if b == nil {
+		if !sawHeader {
 			n, rest, err := parseInt(text)
 			if err != nil || len(bytes.TrimSpace(rest)) != 0 {
-				return nil, fmt.Errorf("graph: line %d: vertex count expected, got %q", line, text)
+				return fmt.Errorf("graph: line %d: vertex count expected, got %q", line, text)
 			}
 			if n > math.MaxInt32 {
 				// Adjacency ids are int32; a larger declared count can never
 				// be a valid graph and would allocate the builder spine for a
 				// count no edge line could reference.
-				return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds int32 range", line, n)
+				return fmt.Errorf("graph: line %d: vertex count %d exceeds int32 range", line, n)
 			}
-			b = NewBuilder(n)
+			if err := header(n); err != nil {
+				return fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			sawHeader = true
 			continue
 		}
 		u, rest, err1 := parseInt(text)
 		v, rest, err2 := parseInt(bytes.TrimSpace(rest))
 		if err1 != nil || err2 != nil || len(bytes.TrimSpace(rest)) != 0 {
-			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", line, text)
+			return fmt.Errorf("graph: line %d: want 'u v', got %q", line, text)
 		}
-		if err := b.AddEdge(u, v); err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		if err := edge(u, v); err != nil {
+			return fmt.Errorf("graph: line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	if b == nil {
-		return nil, fmt.Errorf("graph: empty input")
+	if !sawHeader {
+		return fmt.Errorf("graph: empty input")
 	}
-	return b.Graph(), nil
+	return nil
 }
 
 // parseInt reads a leading non-negative decimal integer from s and returns

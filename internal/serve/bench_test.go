@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"distcolor/internal/cluster"
+	"distcolor/internal/serve/runcfg"
 )
 
 // BenchmarkServeThroughput is the serving-layer acceptance benchmark: a
@@ -102,6 +103,105 @@ func BenchmarkServeThroughputForward(b *testing.B) {
 	}
 	spec, seed := specOwnedBy(b, servers[0], urls[1])
 	runThroughput(b, urls[0], true, func(int) uint64 { return 1 }, spec, seed)
+}
+
+// BenchmarkServeThroughputSpill measures out-of-core serving: four
+// apollonian:2000 graphs behind a RAM budget sized for ~1.5 of them, so
+// three spill to .dcsr images at upload time and come back as page-mapped
+// graphs (zero heap charge) when jobs demand them. The measured loop runs
+// fresh planar6 jobs round-robin across all four, i.e. steady-state
+// serving where most of the working set lives in mapped files. Recorded
+// (not gated) in BENCH_PR.json; readmits/op surfaces the amortized paging
+// cost next to req/s.
+func BenchmarkServeThroughputSpill(b *testing.B) {
+	probe, err := runcfg.Generate("apollonian:2000", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := 3 * (int64(probe.N()) + 2*int64(probe.M())) / 2
+	s := New(Options{Workers: 4, QueueDepth: 4096, GraphCacheWeight: budget, SpillDir: b.TempDir()})
+	s.noObs = true
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	ids := make([]string, 4)
+	for i := range ids {
+		upload, _ := json.Marshal(uploadRequest{Gen: "apollonian:2000", Seed: uint64(i + 1)})
+		resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", bytes.NewReader(upload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var gj graphJSON
+		if err := json.Unmarshal(raw, &gj); err != nil || resp.StatusCode != http.StatusCreated {
+			b.Fatalf("upload: %d %s", resp.StatusCode, raw)
+		}
+		ids[i] = gj.ID
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	// Distinct seeds so nothing coalesces onto a retained result: every
+	// request must resolve its graph and run the engine, which is what makes
+	// this an out-of-core serving measurement rather than a cache replay.
+	post := func(i int) error {
+		body, _ := json.Marshal(map[string]any{"graph": ids[i%len(ids)], "algo": "planar6", "seed": i})
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=true&timeout=60s", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		}
+		var jj jobJSON
+		if err := json.Unmarshal(raw, &jj); err != nil {
+			return err
+		}
+		if jj.Status != StatusDone {
+			return fmt.Errorf("job %s ended %q (%s)", jj.ID, jj.Status, jj.Error)
+		}
+		return nil
+	}
+	for i := 0; i < len(ids); i++ { // demand every graph once: spilled ones page in
+		if err := post(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.SetParallelism(16)
+	b.ResetTimer()
+	start := time.Now()
+	var n atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := post(int(n.Add(1))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(n.Load())/elapsed.Seconds(), "req/s")
+	}
+	sp := s.store.Spill()
+	if n.Load() > 0 {
+		b.ReportMetric(float64(sp.Readmits)/float64(n.Load()), "readmits/op")
+	}
+	if sp.Spills == 0 || sp.Readmits == 0 {
+		b.Fatalf("spill bench never went out of core (spills=%d readmits=%d) — RAM budget no longer forces it", sp.Spills, sp.Readmits)
+	}
 }
 
 // specOwnedBy scans generator seeds until the graph's deterministic ID is

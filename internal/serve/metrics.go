@@ -84,7 +84,7 @@ func (m *serveMetrics) wire(s *Server) {
 		"Graphs resident in the store.", nil,
 		func() float64 { return float64(s.store.Len()) })
 	reg.GaugeFunc("distcolor_graph_store_weight_used",
-		"Resident adjacency weight (n + 4m summed over cached graphs).", nil,
+		"Resident heap adjacency weight (n + 2m per cached graph, plus 2m once its delivery mirror exists).", nil,
 		func() float64 { used, _ := s.store.Used(); return float64(used) })
 	reg.GaugeFunc("distcolor_graph_store_weight_capacity",
 		"Graph store adjacency-weight bound.", nil,
@@ -98,6 +98,21 @@ func (m *serveMetrics) wire(s *Server) {
 	reg.CounterFunc("distcolor_graph_store_evictions_total",
 		"Graphs evicted by the LRU weight bound.", nil,
 		func() float64 { return float64(s.store.Evicted()) })
+	reg.GaugeFunc("distcolor_store_spilled_graphs",
+		"Cold graphs whose .dcsr image is on disk awaiting re-admission.", nil,
+		func() float64 { return float64(s.store.Spill().SpilledGraphs) })
+	reg.GaugeFunc("distcolor_store_spilled_bytes",
+		"Bytes of cold .dcsr images on disk.", nil,
+		func() float64 { return float64(s.store.Spill().SpilledBytes) })
+	reg.GaugeFunc("distcolor_store_mapped_bytes",
+		"Bytes of .dcsr images backing resident page-mapped graphs.", nil,
+		func() float64 { return float64(s.store.Spill().MappedBytes) })
+	reg.CounterFunc("distcolor_store_spills_total",
+		"Evictions that kept a .dcsr image on disk instead of forgetting the graph.", nil,
+		func() float64 { return float64(s.store.Spill().Spills) })
+	reg.CounterFunc("distcolor_store_readmissions_total",
+		"Spilled graphs paged back in by a later request.", nil,
+		func() float64 { return float64(s.store.Spill().Readmits) })
 	if s.cluster != nil {
 		const forwardsHelp = "Requests forwarded to their owning replica, by outcome."
 		m.forwardsOK = reg.Counter("distcolor_cluster_forwards_total", forwardsHelp,

@@ -461,7 +461,7 @@ func TestStatsAndHealthz(t *testing.T) {
 }
 
 func TestGraphStoreLRU(t *testing.T) {
-	small := gen.Path(10) // weight 10 + 4*9 = 46 (CSR + mirror)
+	small := gen.Path(10) // weight 10 + 2*9 = 28 (CSR; no mirror built yet)
 	store := NewGraphStore(3 * graphWeight(small))
 	var ids []string
 	for i := 0; i < 4; i++ {

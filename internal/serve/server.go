@@ -26,6 +26,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,7 +35,9 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,14 +59,33 @@ type Options struct {
 	// QueueDepth bounds jobs waiting to run (default 256); batches that
 	// would exceed it are rejected with 429.
 	QueueDepth int
-	// GraphCacheWeight bounds the graph store in adjacency entries, n + 4m
-	// summed over cached graphs — CSR plus the engine's delivery mirror
-	// (default 64M entries ≈ 256 MiB of int32).
+	// GraphCacheWeight bounds the graph store's resident heap weight in
+	// adjacency entries: n + 2m per cached graph, plus another 2m once the
+	// engine's delivery mirror is materialized by a first message-plane job
+	// (default 64M entries ≈ 256 MiB of int32). mmap'd graphs charge only
+	// their mirror — their CSR pages are file-backed and OS-reclaimable.
 	GraphCacheWeight int64
 	// RetainJobs bounds retained terminal jobs (default 4096).
 	RetainJobs int
 	// MaxUploadBytes bounds a graph-upload body (default 64 MiB).
 	MaxUploadBytes int64
+	// SpillDir, when non-empty, turns store eviction into spilling: cold
+	// graphs keep (or gain) a .dcsr image under this directory and are
+	// re-admitted by page map instead of a re-parse or re-generate. It also
+	// enables application/x-dcsr binary uploads and external-memory
+	// conversion of oversized text uploads.
+	SpillDir string
+	// SpillMaxBytes bounds the .dcsr bytes kept under SpillDir (default
+	// 4 GiB when spilling is on; negative = unbounded).
+	SpillMaxBytes int64
+	// ConvertUploadBytes: a text upload whose Content-Length exceeds this is
+	// spooled and converted to .dcsr by the external-memory builder instead
+	// of being parsed into the heap (default 16 MiB; needs SpillDir;
+	// negative disables the conversion path).
+	ConvertUploadBytes int64
+	// ConvertMemBudget caps the converter's neighbor slab in bytes
+	// (default 256 MiB).
+	ConvertMemBudget int64
 	// JobTimeout, when positive, is the per-job execution deadline: a run
 	// exceeding it is aborted (within one LOCAL round) and reported as
 	// failed with a deadline error. Queue wait does not count. 0 = none.
@@ -114,6 +136,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxUploadBytes <= 0 {
 		o.MaxUploadBytes = 64 << 20
+	}
+	if o.SpillDir != "" {
+		if o.SpillMaxBytes == 0 {
+			o.SpillMaxBytes = 4 << 30
+		}
+		if o.ConvertUploadBytes == 0 {
+			o.ConvertUploadBytes = 16 << 20
+		}
+		if o.ConvertMemBudget <= 0 {
+			o.ConvertMemBudget = graph.DefaultConvertMemBudget
+		}
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
@@ -170,6 +203,13 @@ func New(opts Options) *Server {
 			RingSize:   opts.TraceRing,
 			Seed:       opts.TraceSeed,
 		}),
+	}
+	if opts.SpillDir != "" {
+		// Same contract as an invalid cluster config: a replica that cannot
+		// bring up its configured spill tier must not come up without it.
+		if err := s.store.EnableSpill(opts.SpillDir, opts.SpillMaxBytes); err != nil {
+			panic(err.Error())
+		}
 	}
 	s.sched = NewScheduler(opts.Workers, opts.QueueDepth, s.execute)
 	if opts.Cluster != nil {
@@ -428,6 +468,9 @@ type graphJSON struct {
 	M      int    `json:"m"`
 	MaxDeg int    `json:"maxdeg"`
 	Cached bool   `json:"cached"`
+	// Mapped marks a graph whose CSR is a page-mapped .dcsr image rather
+	// than heap arrays (binary upload or external-memory conversion).
+	Mapped bool `json:"mapped,omitempty"`
 }
 
 type uploadRequest struct {
@@ -510,10 +553,14 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // ---- handlers ----
 
-// handleUploadGraph accepts either a JSON {"gen": spec, "seed": n} body
-// (Content-Type: application/json) or a raw edge-list body in the
-// graph.ReadEdgeList format (any other content type). The edge list is
-// streamed straight into the CSR builder; it is never buffered whole.
+// handleUploadGraph accepts a JSON {"gen": spec, "seed": n} body
+// (Content-Type: application/json), a binary .dcsr image (Content-Type:
+// application/x-dcsr, spill mode only — spooled to the spill dir, fully
+// validated, then page-mapped without ever parsing), or a raw edge-list
+// body in the graph.ReadEdgeList format (any other content type). Small
+// edge lists stream straight into the CSR builder; bodies larger than
+// ConvertUploadBytes are converted to .dcsr in bounded memory and served
+// page-mapped like a binary upload.
 func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 	if !s.admitQuota(w, r) {
 		return
@@ -544,7 +591,7 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 		if s.maybeForward(w, r, raw, specGraphID(specKeyFor(req.Gen, req.Seed))) {
 			return
 		}
-		id, g, cached, err := s.store.AddSpec(req.Gen, req.Seed, func() (*graph.Graph, error) {
+		id, g, cached, _, err := s.store.AddSpec(req.Gen, req.Seed, func() (*graph.Graph, error) {
 			return runcfg.Generate(req.Gen, req.Seed)
 		})
 		if err != nil {
@@ -552,6 +599,17 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusCreated, graphJSON{ID: id, N: g.N(), M: g.M(), MaxDeg: g.MaxDegree(), Cached: cached})
+		return
+	}
+	if strings.HasPrefix(ct, "application/x-dcsr") {
+		s.handleUploadDCSR(w, body)
+		return
+	}
+	if s.opts.SpillDir != "" && s.opts.ConvertUploadBytes > 0 && r.ContentLength > s.opts.ConvertUploadBytes {
+		// An edge list this large would cost more as transient builder state
+		// than as a graph; convert it out-of-core instead of parsing.
+		// Chunked uploads (ContentLength < 0) take the streaming path.
+		s.handleUploadConvert(w, body)
 		return
 	}
 	g, err := graph.ReadEdgeList(body)
@@ -569,6 +627,114 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, graphJSON{ID: id, N: g.N(), M: g.M(), MaxDeg: g.MaxDegree()})
+}
+
+// spoolUpload copies body into a fresh file under the spill dir, returning
+// its path and size. The returned status code is meaningful only on error.
+func (s *Server) spoolUpload(body io.Reader, pattern string) (path string, size int64, code int, err error) {
+	f, err := os.CreateTemp(s.store.SpillDir(), pattern)
+	if err != nil {
+		return "", 0, http.StatusInternalServerError, fmt.Errorf("spooling upload: %v", err)
+	}
+	size, err = io.Copy(f, body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		code := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		return "", 0, code, err
+	}
+	return f.Name(), size, 0, nil
+}
+
+// handleUploadDCSR admits a binary .dcsr image: spool to the spill dir,
+// open (page map on capable platforms), and — because the producer is the
+// network — run the full structural validation the O(1) mmap admission
+// skips, so a hostile image can never reach an algorithm. The store takes
+// ownership of the spooled file; eviction keeps it and re-admission is a
+// page map.
+func (s *Server) handleUploadDCSR(w http.ResponseWriter, body io.Reader) {
+	if s.store.SpillDir() == "" {
+		writeError(w, http.StatusBadRequest,
+			"binary graph upload requires the spill tier (start the server with -spill-dir)")
+		return
+	}
+	path, size, code, err := s.spoolUpload(body, "upload-*.dcsr")
+	if err != nil {
+		writeError(w, code, "%v", err)
+		return
+	}
+	mg, err := graph.OpenDCSR(path)
+	if err != nil {
+		os.Remove(path)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := mg.Verify(); err != nil {
+		mg.Close()
+		os.Remove(path)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.store.AddMapped(mg, path, size)
+	if err != nil {
+		mg.Close()
+		os.Remove(path)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, graphJSON{
+		ID: id, N: mg.N(), M: mg.M(), MaxDeg: mg.MaxDegree(), Mapped: mg.Mapped(),
+	})
+}
+
+// handleUploadConvert runs an oversized text upload through the
+// external-memory builder: the body is spooled next to the spill images
+// (the converter scans it multiple times), converted to .dcsr under the
+// configured memory budget, and admitted page-mapped. The converter fully
+// validates the edge list, so no extra verification pass is needed.
+func (s *Server) handleUploadConvert(w http.ResponseWriter, body io.Reader) {
+	spool, _, code, err := s.spoolUpload(body, "upload-*.edges")
+	if err != nil {
+		writeError(w, code, "%v", err)
+		return
+	}
+	defer os.Remove(spool)
+	out, err := os.CreateTemp(s.store.SpillDir(), "upload-*.dcsr")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "creating converted graph: %v", err)
+		return
+	}
+	open := func() (io.ReadCloser, error) { return os.Open(spool) }
+	stats, err := graph.ConvertEdgeList(open, out, s.opts.ConvertMemBudget)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(out.Name())
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mg, err := graph.OpenDCSR(out.Name())
+	if err != nil {
+		os.Remove(out.Name())
+		writeError(w, http.StatusInternalServerError, "reopening converted graph: %v", err)
+		return
+	}
+	id, err := s.store.AddMapped(mg, out.Name(), stats.BytesWritten)
+	if err != nil {
+		mg.Close()
+		os.Remove(out.Name())
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, graphJSON{
+		ID: id, N: stats.N, M: stats.M, MaxDeg: stats.MaxDeg, Mapped: mg.Mapped(),
+	})
 }
 
 // handleSubmitJobs accepts one job object or a batch array of them. The
@@ -652,13 +818,17 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 	root := obs.SpanFromContext(r.Context())
 	resolveSpan := s.tracer.StartChild(root.Context(), "store.resolve")
 	work := make([]resolved, 0, len(reqs))
+	var sources []string
 	for i, req := range reqs {
-		graphID, g, errCode, err := s.resolveGraph(req)
+		graphID, g, source, errCode, err := s.resolveGraph(req)
 		if err != nil {
 			resolveSpan.SetAttr("error", err.Error())
 			resolveSpan.End()
 			writeError(w, errCode, "job %d: %v", i, err)
 			return
+		}
+		if !slices.Contains(sources, source) {
+			sources = append(sources, source)
 		}
 		cfg := req.Config.WithDefaults()
 		if err := cfg.Validate(); err != nil {
@@ -670,6 +840,10 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 		work = append(work, resolved{graphID: graphID, g: g, cfg: cfg, fresh: req.Fresh})
 	}
 	resolveSpan.SetAttr("jobs", strconv.Itoa(len(work)))
+	// How the batch's graphs materialized: ram (resident heap), mmap
+	// (page-mapped image, possibly just re-admitted from spill), parse
+	// (generated/parsed this request). Distinct values, comma-joined.
+	resolveSpan.SetAttr("source", strings.Join(sources, ","))
 	resolveSpan.End()
 
 	// Phase 2, under submitMu: intern and enqueue as one atomic step. The
@@ -772,27 +946,28 @@ func (s *Server) submitJobs(w http.ResponseWriter, r *http.Request, reqs []jobRe
 }
 
 // resolveGraph maps a job request to a cached graph, resolving inline gen
-// specs through the store (parse-once, deduplicated).
-func (s *Server) resolveGraph(req jobRequest) (string, *graph.Graph, int, error) {
+// specs through the store (parse-once, deduplicated). source reports how
+// the graph materialized: "ram", "mmap", or "parse" (see GraphStore).
+func (s *Server) resolveGraph(req jobRequest) (string, *graph.Graph, string, int, error) {
 	switch {
 	case req.Graph != "" && req.Gen != "":
-		return "", nil, http.StatusBadRequest, fmt.Errorf("give either \"graph\" or \"gen\", not both")
+		return "", nil, "", http.StatusBadRequest, fmt.Errorf("give either \"graph\" or \"gen\", not both")
 	case req.Graph != "":
-		g, ok := s.store.Get(req.Graph)
+		g, source, ok := s.store.Resolve(req.Graph)
 		if !ok {
-			return "", nil, http.StatusNotFound, fmt.Errorf("unknown graph %q (upload it via POST /v1/graphs)", req.Graph)
+			return "", nil, "", http.StatusNotFound, fmt.Errorf("unknown graph %q (upload it via POST /v1/graphs)", req.Graph)
 		}
-		return req.Graph, g, 0, nil
+		return req.Graph, g, source, 0, nil
 	case req.Gen != "":
-		id, g, _, err := s.store.AddSpec(req.Gen, req.GenSeed, func() (*graph.Graph, error) {
+		id, g, _, source, err := s.store.AddSpec(req.Gen, req.GenSeed, func() (*graph.Graph, error) {
 			return runcfg.Generate(req.Gen, req.GenSeed)
 		})
 		if err != nil {
-			return "", nil, http.StatusBadRequest, err
+			return "", nil, "", http.StatusBadRequest, err
 		}
-		return id, g, 0, nil
+		return id, g, source, 0, nil
 	default:
-		return "", nil, http.StatusBadRequest, fmt.Errorf("missing \"graph\" id or \"gen\" spec")
+		return "", nil, "", http.StatusBadRequest, fmt.Errorf("missing \"graph\" id or \"gen\" spec")
 	}
 }
 
@@ -950,6 +1125,10 @@ func (s *Server) handleGetColors(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		if strings.Contains(r.Header.Get("Accept"), "application/octet-stream") {
+			streamColorsBinary(w, colors, from, count)
+			return
+		}
 		streamColors(w, colors, from, count, ranged)
 	}
 }
@@ -1031,21 +1210,62 @@ func streamColors(w http.ResponseWriter, colors []int, from, count int, ranged b
 	}
 }
 
+// streamColorsBinary writes colors[from:from+count] as raw little-endian
+// int32 values, 4 bytes per vertex with no framing — the job-result twin
+// of the .dcsr array encoding, negotiated via Accept:
+// application/octet-stream. Range metadata rides in the
+// X-Distcolor-Colors-From/-Total headers instead of a JSON envelope.
+func streamColorsBinary(w http.ResponseWriter, colors []int, from, count int) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(count*4))
+	w.Header().Set("X-Distcolor-Colors-From", strconv.Itoa(from))
+	w.Header().Set("X-Distcolor-Colors-Total", strconv.Itoa(len(colors)))
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 0, colorChunk*4)
+	for _, c := range colors[from : from+count] {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(c)))
+		if len(buf) == cap(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			buf = buf[:0]
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
 // localStats builds this replica's /v1/stats body.
 func (s *Server) localStats() map[string]any {
 	snap := s.stats.Snapshot()
 	used, capacity := s.store.Used()
+	graphs := map[string]any{
+		"cached":          s.store.Len(),
+		"weight_used":     used,
+		"weight_capacity": capacity,
+		"evicted":         s.store.Evicted(),
+	}
+	if sp := s.store.Spill(); sp.Enabled {
+		graphs["spilled"] = sp.SpilledGraphs
+		graphs["spilled_bytes"] = sp.SpilledBytes
+		graphs["mapped_bytes"] = sp.MappedBytes
+		graphs["spills"] = sp.Spills
+		graphs["readmissions"] = sp.Readmits
+	}
 	return map[string]any{
 		"jobs":           snap,
 		"queue_depth":    s.sched.QueueDepth(),
 		"queue_capacity": s.opts.QueueDepth,
 		"workers":        s.opts.Workers,
-		"graphs": map[string]any{
-			"cached":          s.store.Len(),
-			"weight_used":     used,
-			"weight_capacity": capacity,
-			"evicted":         s.store.Evicted(),
-		},
+		"graphs":         graphs,
 	}
 }
 
@@ -1153,13 +1373,18 @@ func (s *Server) FlightDump(w io.Writer) error {
 // humans and tests.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	used, capacity := s.store.Used()
+	graphs := map[string]any{
+		"cached":          s.store.Len(),
+		"weight_used":     used,
+		"weight_capacity": capacity,
+	}
+	if sp := s.store.Spill(); sp.Enabled {
+		graphs["spilled"] = sp.SpilledGraphs
+		graphs["spilled_bytes"] = sp.SpilledBytes
+	}
 	body := map[string]any{
-		"ok": true,
-		"graphs": map[string]any{
-			"cached":          s.store.Len(),
-			"weight_used":     used,
-			"weight_capacity": capacity,
-		},
+		"ok":     true,
+		"graphs": graphs,
 	}
 	if s.cluster != nil {
 		members := s.cluster.Members()

@@ -1,45 +1,84 @@
 package serve
 
 import (
+	"bufio"
 	"container/list"
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
 	"distcolor/internal/graph"
 )
 
-// GraphStore caches parsed graphs in CSR form behind opaque IDs so repeated
-// jobs on the same graph never re-parse or re-generate. It is a strict LRU
-// bounded by total adjacency weight (n + 4m summed over residents — the CSR
-// arrays plus the delivery mirror every served graph materializes, a close
-// proxy for resident memory). Evicted graphs stay alive while running jobs
-// hold references; the store just forgets them.
+// GraphStore caches graphs in CSR form behind opaque IDs so repeated jobs
+// on the same graph never re-parse or re-generate. It is a strict LRU
+// bounded by total resident adjacency weight (heap-held int32 entries: the
+// CSR arrays for parsed graphs, plus the delivery mirror once a graph has
+// actually run a message-plane job; mmap'd graphs' file-backed pages are
+// reclaimable by the OS and cost 0 until they materialize a mirror).
+//
+// With spilling enabled (EnableSpill), eviction stops being destructive:
+// instead of forgetting a cold graph the store writes it once as a .dcsr
+// image (or keeps the image it already has) in a bounded on-disk cache,
+// and a later request for the same ID re-admits it with an O(1) page map
+// instead of a re-parse or re-generate. Evicted graphs stay alive while
+// running jobs hold references either way — dropping the store's reference
+// never unmaps memory a job can still touch (the mapping is released by a
+// GC cleanup after the last holder is gone).
 //
 // Graphs built from a generator spec are additionally deduplicated by
 // (spec, seed): uploading the same spec twice returns the first ID with no
-// rebuild, since generation is deterministic in (spec, seed).
+// rebuild, since generation is deterministic in (spec, seed). The dedup
+// index survives spilling.
 type GraphStore struct {
 	mu      sync.Mutex
 	cap     int64
 	used    int64
 	seq     uint64
 	items   map[string]*list.Element // graph ID → LRU element
-	bySpec  map[string]*list.Element // "spec@seed" → LRU element
+	bySpec  map[string]*list.Element // "seed@spec" → LRU element
 	lru     *list.List               // front = most recent; values are *storedGraph
 	evicted int64
 	hits    int64
 	misses  int64
+
+	// Spill state (zero when disabled).
+	spillDir      string
+	spillCap      int64                    // bound on diskUsed; ≤0 = unbounded
+	diskUsed      int64                    // bytes of every .dcsr file the store owns
+	coldBytes     int64                    // subset of diskUsed belonging to non-resident graphs
+	mappedBytes   int64                    // .dcsr bytes backing resident mmap'd graphs
+	spilled       map[string]*spilledGraph // graph ID → cold image
+	spilledBySpec map[string]*spilledGraph
+	spillLRU      *list.List // front = most recently spilled; values are *spilledGraph
+	spills        int64
+	readmits      int64
+	spillDrops    int64
 }
 
 type storedGraph struct {
+	id        string
+	g         *graph.Graph
+	weight    int64  // heap entries currently charged (see heapWeight)
+	specKey   string // non-empty for gen-spec graphs (dedup key)
+	mapped    bool   // CSR arrays alias an mmap'd .dcsr image
+	file      string // on-disk .dcsr image, "" if none exists yet
+	fileBytes int64
+}
+
+// spilledGraph is a graph the LRU pushed out of RAM but whose .dcsr image
+// is kept on disk for O(1) re-admission.
+type spilledGraph struct {
 	id      string
-	g       *graph.Graph
-	weight  int64
-	specKey string // non-empty for gen-spec graphs (dedup key)
+	specKey string
+	file    string
+	bytes   int64
+	el      *list.Element
 }
 
 // specIDPrefix marks graph IDs derived from a generator spec. Such IDs are
@@ -68,11 +107,31 @@ func IsSpecGraphID(id string) bool {
 	return strings.HasPrefix(id, specIDPrefix) && len(id) == len(specIDPrefix)+32
 }
 
-// graphWeight is the store accounting unit for one graph: the CSR offsets
-// plus neighbor array (n + 2m int32 entries) plus the same-sized CSR mirror
-// array (graph.Mirror, another 2m) that the message-passing engine
-// materializes — and the graph then caches for life — on the first job.
-func graphWeight(g *graph.Graph) int64 { return int64(g.N()) + 4*int64(g.M()) }
+// graphWeight is the store accounting unit for one heap-resident graph:
+// the CSR offsets plus neighbor array (n + 2m int32 entries), plus the
+// same-sized mirror array (another 2m) once — and only once — the
+// message-passing engine has materialized it. A graph that never ran a
+// message-plane job does not pay for a mirror it doesn't have.
+func graphWeight(g *graph.Graph) int64 {
+	w := int64(g.N()) + 2*int64(g.M())
+	if g.HasMirror() {
+		w += 2 * int64(g.M())
+	}
+	return w
+}
+
+// heapWeight is graphWeight restricted to what actually lives on the Go
+// heap: an mmap'd graph's CSR arrays are file-backed pages the OS can
+// reclaim, so only its (lazily built) mirror counts.
+func heapWeight(sg *storedGraph) int64 {
+	if !sg.mapped {
+		return graphWeight(sg.g)
+	}
+	if sg.g.HasMirror() {
+		return 2 * int64(sg.g.M())
+	}
+	return 0
+}
 
 // NewGraphStore returns a store bounded by capacity adjacency entries
 // (vertices + directed edges). A capacity ≤ 0 panics: a serving layer with
@@ -82,100 +141,193 @@ func NewGraphStore(capacity int64) *GraphStore {
 		panic("serve: graph store capacity must be positive")
 	}
 	return &GraphStore{
-		cap:    capacity,
-		items:  make(map[string]*list.Element),
-		bySpec: make(map[string]*list.Element),
-		lru:    list.New(),
+		cap:           capacity,
+		items:         make(map[string]*list.Element),
+		bySpec:        make(map[string]*list.Element),
+		lru:           list.New(),
+		spilled:       make(map[string]*spilledGraph),
+		spilledBySpec: make(map[string]*spilledGraph),
+		spillLRU:      list.New(),
 	}
 }
 
-// Add inserts g and returns its fresh ID, evicting least-recently-used
-// residents as needed. Graphs heavier than the whole capacity are rejected.
+// EnableSpill turns eviction into spilling: evicted graphs are written
+// once as .dcsr images under dir (created if missing) and re-admitted by
+// page map on the next request. maxBytes bounds the total bytes of images
+// the store keeps on disk (resident mmap'd graphs included); ≤ 0 means
+// unbounded. Call before the store is shared.
+func (s *GraphStore) EnableSpill(dir string, maxBytes int64) error {
+	if dir == "" {
+		return fmt.Errorf("serve: spill dir must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating spill dir: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spillDir = dir
+	s.spillCap = maxBytes
+	return nil
+}
+
+// Add inserts g and returns its fresh ID, evicting (or spilling)
+// least-recently-used residents as needed. Graphs heavier than the whole
+// capacity are rejected.
 func (s *GraphStore) Add(g *graph.Graph) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.insert(g, "")
+	s.seq++
+	sg := &storedGraph{id: fmt.Sprintf("g%d", s.seq), g: g}
+	if err := s.admit(sg); err != nil {
+		return "", err
+	}
+	return sg.id, nil
+}
+
+// AddMapped inserts a graph opened from a .dcsr image whose file the store
+// takes ownership of: file must live under the spill directory, and from
+// now on the store decides when it is deleted. The graph's file-backed
+// bytes are charged to the disk budget, not the RAM budget — eviction
+// keeps the file and re-admission is a page map.
+func (s *GraphStore) AddMapped(mg *graph.MappedGraph, file string, fileBytes int64) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spillDir == "" {
+		return "", fmt.Errorf("serve: AddMapped requires spilling to be enabled")
+	}
+	s.seq++
+	sg := &storedGraph{
+		id:        fmt.Sprintf("g%d", s.seq),
+		g:         mg.Graph,
+		mapped:    mg.Mapped(),
+		file:      file,
+		fileBytes: fileBytes,
+	}
+	if err := s.admit(sg); err != nil {
+		return "", err
+	}
+	s.diskUsed += fileBytes
+	if sg.mapped {
+		s.mappedBytes += fileBytes
+	}
+	s.enforceSpillCap()
+	return sg.id, nil
 }
 
 // AddSpec inserts the graph generated from (spec, seed), deduplicating:
-// if that exact pair is already resident its existing ID and graph are
-// returned with cached=true and no graph is built. generate is only called
-// on a miss. The graph is returned directly — callers must not re-Get by
-// ID, since a concurrent insert burst could evict the entry in between.
-func (s *GraphStore) AddSpec(spec string, seed uint64, generate func() (*graph.Graph, error)) (id string, g *graph.Graph, cached bool, err error) {
+// if that exact pair is resident — or spilled — its existing ID and graph
+// are returned with cached=true and no graph is built. generate is only
+// called on a full miss. source reports how the graph materialized this
+// time: "ram" (resident), "mmap" (re-admitted from a spilled image), or
+// "parse" (generated). The graph is returned directly — callers must not
+// re-Get by ID, since a concurrent insert burst could evict the entry in
+// between.
+func (s *GraphStore) AddSpec(spec string, seed uint64, generate func() (*graph.Graph, error)) (id string, g *graph.Graph, cached bool, source string, err error) {
 	key := specKeyFor(spec, seed)
 	s.mu.Lock()
 	if el, ok := s.bySpec[key]; ok {
-		s.lru.MoveToFront(el)
 		sg := el.Value.(*storedGraph)
 		s.hits++
+		s.touch(el)
 		s.mu.Unlock()
-		return sg.id, sg.g, true, nil
+		return sg.id, sg.g, true, residentSource(sg), nil
+	}
+	if sp, ok := s.spilledBySpec[key]; ok {
+		if sg, ok := s.readmit(sp); ok {
+			s.hits++
+			s.mu.Unlock()
+			return sg.id, sg.g, true, "mmap", nil
+		}
 	}
 	s.mu.Unlock()
 	// Generate outside the lock: specs can take a while and the store must
 	// keep serving. A racing identical upload may insert first; re-check.
 	g, err = generate()
 	if err != nil {
-		return "", nil, false, err
+		return "", nil, false, "", err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.bySpec[key]; ok {
 		// A racing identical upload won; this caller still generated, so the
 		// work it did counts as a miss even though it gets the cached entry.
-		s.lru.MoveToFront(el)
 		sg := el.Value.(*storedGraph)
+		s.touch(el)
 		s.misses++
-		return sg.id, sg.g, true, nil
+		return sg.id, sg.g, true, residentSource(sg), nil
 	}
 	s.misses++
-	id, err = s.insert(g, key)
-	if err != nil {
-		return "", nil, false, err
+	sg := &storedGraph{id: specGraphID(key), g: g, specKey: key}
+	if old, ok := s.items[sg.id]; ok {
+		// A 128-bit collision between distinct spec keys (the only way to
+		// get here — identical keys are deduplicated by bySpec) is
+		// astronomically unlikely; keep the invariant anyway.
+		s.forget(old)
 	}
-	return id, g, false, nil
+	if sp, ok := s.spilled[sg.id]; ok {
+		s.dropSpilled(sp)
+	}
+	if err := s.admit(sg); err != nil {
+		return "", nil, false, "", err
+	}
+	return sg.id, g, false, "parse", nil
 }
 
-func (s *GraphStore) insert(g *graph.Graph, specKey string) (string, error) {
-	w := graphWeight(g)
-	if w > s.cap {
-		return "", fmt.Errorf("serve: graph weight %d exceeds store capacity %d", w, s.cap)
+func residentSource(sg *storedGraph) string {
+	if sg.mapped {
+		return "mmap"
 	}
-	for s.used+w > s.cap {
+	return "ram"
+}
+
+// admit charges sg and pushes it to the LRU front, evicting from the back
+// to make room. The entry being admitted is protected: a graph whose own
+// weight exceeds what eviction can free is allowed to overshoot the cap
+// transiently rather than deadlock the store (only fully heap-resident
+// graphs heavier than the entire capacity are rejected outright).
+func (s *GraphStore) admit(sg *storedGraph) error {
+	sg.weight = heapWeight(sg)
+	if !sg.mapped && sg.weight > s.cap {
+		return fmt.Errorf("serve: graph weight %d exceeds store capacity %d", sg.weight, s.cap)
+	}
+	for s.used+sg.weight > s.cap {
 		oldest := s.lru.Back()
 		if oldest == nil {
 			break
 		}
-		s.remove(oldest)
-		s.evicted++
+		s.evict(oldest)
 	}
-	// Spec-derived graphs get the deterministic fleet-routable ID; raw
-	// uploads stay on the replica-local sequence.
-	var id string
-	if specKey != "" {
-		id = specGraphID(specKey)
-		if el, ok := s.items[id]; ok {
-			// A 128-bit collision between distinct spec keys (the only way
-			// to get here — identical keys are deduplicated by bySpec) is
-			// astronomically unlikely; keep the invariant anyway.
-			s.remove(el)
-		}
-	} else {
-		s.seq++
-		id = fmt.Sprintf("g%d", s.seq)
-	}
-	sg := &storedGraph{id: id, g: g, weight: w, specKey: specKey}
 	el := s.lru.PushFront(sg)
 	s.items[sg.id] = el
-	if specKey != "" {
-		s.bySpec[specKey] = el
+	if sg.specKey != "" {
+		s.bySpec[sg.specKey] = el
 	}
-	s.used += w
-	return sg.id, nil
+	s.used += sg.weight
+	return nil
 }
 
-func (s *GraphStore) remove(el *list.Element) {
+// touch bumps recency and re-weighs the entry: the mirror array appears
+// lazily (first message-plane job), so an entry's heap footprint can grow
+// between lookups. Growth may push the store over cap; evict colder
+// entries but never the one just touched.
+func (s *GraphStore) touch(el *list.Element) {
+	s.lru.MoveToFront(el)
+	sg := el.Value.(*storedGraph)
+	if w := heapWeight(sg); w != sg.weight {
+		s.used += w - sg.weight
+		sg.weight = w
+		for s.used > s.cap {
+			oldest := s.lru.Back()
+			if oldest == nil || oldest == el {
+				break
+			}
+			s.evict(oldest)
+		}
+	}
+}
+
+// detach removes el from the resident maps and uncharges its weight.
+func (s *GraphStore) detach(el *list.Element) *storedGraph {
 	sg := el.Value.(*storedGraph)
 	s.lru.Remove(el)
 	delete(s.items, sg.id)
@@ -183,20 +335,176 @@ func (s *GraphStore) remove(el *list.Element) {
 		delete(s.bySpec, sg.specKey)
 	}
 	s.used -= sg.weight
+	if sg.mapped {
+		s.mappedBytes -= sg.fileBytes
+	}
+	return sg
+}
+
+// evict pushes the LRU-coldest resident out of RAM: spill the .dcsr image
+// (writing it now if the graph never had one) when spilling is enabled,
+// otherwise forget the graph entirely.
+func (s *GraphStore) evict(el *list.Element) {
+	sg := s.detach(el)
+	s.evicted++
+	if s.spillDir == "" {
+		return
+	}
+	file, bytes := sg.file, sg.fileBytes
+	if file == "" {
+		var err error
+		file, bytes, err = s.writeSpill(sg)
+		if err != nil {
+			// Disk refused the image; the eviction degrades to the
+			// spill-less behavior (forget) rather than failing the insert
+			// that triggered it.
+			return
+		}
+		s.diskUsed += bytes
+	}
+	sp := &spilledGraph{id: sg.id, specKey: sg.specKey, file: file, bytes: bytes}
+	sp.el = s.spillLRU.PushFront(sp)
+	s.spilled[sp.id] = sp
+	if sp.specKey != "" {
+		s.spilledBySpec[sp.specKey] = sp
+	}
+	s.coldBytes += bytes
+	s.spills++
+	s.enforceSpillCap()
+}
+
+// writeSpill serializes sg's graph under the spill dir. Called with mu
+// held: a spill write stalls the store, which is the price of never
+// dropping a graph the disk can still hold. The write targets a temp name
+// and renames into place so a crash never leaves a half image at a
+// resolvable path.
+func (s *GraphStore) writeSpill(sg *storedGraph) (string, int64, error) {
+	final := filepath.Join(s.spillDir, sg.id+".dcsr")
+	f, err := os.CreateTemp(s.spillDir, sg.id+".tmp-*")
+	if err != nil {
+		return "", 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	n, err := sg.g.WriteDCSR(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), final)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return "", 0, err
+	}
+	return final, n, nil
+}
+
+// enforceSpillCap deletes cold images oldest-first until the disk budget
+// holds. Images backing resident mmap'd graphs are not deletable; if they
+// alone exceed the budget the store carries the overage until they cool.
+func (s *GraphStore) enforceSpillCap() {
+	if s.spillCap <= 0 {
+		return
+	}
+	for s.diskUsed > s.spillCap {
+		oldest := s.spillLRU.Back()
+		if oldest == nil {
+			break
+		}
+		s.dropSpilled(oldest.Value.(*spilledGraph))
+		s.spillDrops++
+	}
+}
+
+// dropSpilled forgets a cold image entirely, deleting its file.
+func (s *GraphStore) dropSpilled(sp *spilledGraph) {
+	s.spillLRU.Remove(sp.el)
+	delete(s.spilled, sp.id)
+	if sp.specKey != "" {
+		delete(s.spilledBySpec, sp.specKey)
+	}
+	s.coldBytes -= sp.bytes
+	s.diskUsed -= sp.bytes
+	os.Remove(sp.file)
+}
+
+// forget removes a resident entry and deletes its image: the graph is
+// gone from the store completely (ID-collision replacement only).
+func (s *GraphStore) forget(el *list.Element) {
+	sg := s.detach(el)
+	if sg.file != "" {
+		s.diskUsed -= sg.fileBytes
+		os.Remove(sg.file)
+	}
+}
+
+// readmit pages a spilled image back in under its original ID. On any
+// open failure the image is dropped and the lookup proceeds as a miss.
+// Called with mu held.
+func (s *GraphStore) readmit(sp *spilledGraph) (*storedGraph, bool) {
+	mg, err := graph.OpenDCSR(sp.file)
+	if err != nil {
+		s.dropSpilled(sp)
+		s.spillDrops++
+		return nil, false
+	}
+	s.spillLRU.Remove(sp.el)
+	delete(s.spilled, sp.id)
+	if sp.specKey != "" {
+		delete(s.spilledBySpec, sp.specKey)
+	}
+	s.coldBytes -= sp.bytes
+	sg := &storedGraph{
+		id:        sp.id,
+		g:         mg.Graph,
+		specKey:   sp.specKey,
+		mapped:    mg.Mapped(),
+		file:      sp.file,
+		fileBytes: sp.bytes,
+	}
+	// admit cannot fail here: a mapped entry is never rejected, and the
+	// heap fallback was loaded from an image we wrote, so it fit before.
+	if err := s.admit(sg); err != nil {
+		s.diskUsed -= sp.bytes
+		os.Remove(sp.file)
+		return nil, false
+	}
+	if sg.mapped {
+		s.mappedBytes += sp.bytes
+	}
+	s.readmits++
+	return sg, true
+}
+
+// Resolve returns the graph for id, bumping its recency, along with how it
+// materialized: "ram" for a heap-resident hit, "mmap" for a graph whose
+// arrays are (or were re-admitted as) a page-mapped .dcsr image.
+func (s *GraphStore) Resolve(id string) (*graph.Graph, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[id]; ok {
+		s.hits++
+		s.touch(el)
+		sg := el.Value.(*storedGraph)
+		return sg.g, residentSource(sg), true
+	}
+	if sp, ok := s.spilled[id]; ok {
+		if sg, ok := s.readmit(sp); ok {
+			s.hits++
+			return sg.g, "mmap", true
+		}
+	}
+	s.misses++
+	return nil, "", false
 }
 
 // Get returns the graph for id, bumping its recency.
 func (s *GraphStore) Get(id string) (*graph.Graph, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[id]
-	if !ok {
-		s.misses++
-		return nil, false
-	}
-	s.hits++
-	s.lru.MoveToFront(el)
-	return el.Value.(*storedGraph).g, true
+	g, _, ok := s.Resolve(id)
+	return g, ok
 }
 
 // Len returns the number of resident graphs.
@@ -206,26 +514,62 @@ func (s *GraphStore) Len() int {
 	return len(s.items)
 }
 
-// Used returns the resident adjacency weight and the capacity.
+// Used returns the resident heap weight and the capacity.
 func (s *GraphStore) Used() (used, capacity int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.used, s.cap
 }
 
-// Evicted returns how many graphs the LRU bound has pushed out.
+// Evicted returns how many graphs the LRU bound has pushed out of RAM
+// (spilled or forgotten).
 func (s *GraphStore) Evicted() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.evicted
 }
 
-// HitsMisses returns the lookup counters: hits are Get or AddSpec calls
-// answered by a resident graph without generating; misses are failed Gets
-// and AddSpec calls that had to generate (including generate work thrown
-// away to a racing identical upload).
+// HitsMisses returns the lookup counters: hits are Get/Resolve or AddSpec
+// calls answered by a resident or spilled graph without generating; misses
+// are failed lookups and AddSpec calls that had to generate (including
+// generate work thrown away to a racing identical upload).
 func (s *GraphStore) HitsMisses() (hits, misses int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits, s.misses
+}
+
+// SpillStats is a snapshot of the out-of-core side of the store.
+type SpillStats struct {
+	Enabled       bool
+	SpilledGraphs int   // cold images on disk
+	SpilledBytes  int64 // bytes of cold images
+	DiskBytes     int64 // all owned .dcsr bytes (cold + resident mapped)
+	MappedBytes   int64 // bytes backing resident mmap'd graphs
+	Spills        int64 // evictions that kept an image
+	Readmits      int64 // spilled graphs paged back in
+	Drops         int64 // images deleted (disk budget or open failure)
+}
+
+// Spill returns the current spill snapshot.
+func (s *GraphStore) Spill() SpillStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpillStats{
+		Enabled:       s.spillDir != "",
+		SpilledGraphs: len(s.spilled),
+		SpilledBytes:  s.coldBytes,
+		DiskBytes:     s.diskUsed,
+		MappedBytes:   s.mappedBytes,
+		Spills:        s.spills,
+		Readmits:      s.readmits,
+		Drops:         s.spillDrops,
+	}
+}
+
+// SpillDir returns the spill directory ("" when spilling is disabled).
+func (s *GraphStore) SpillDir() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spillDir
 }

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the binary graph path, over real HTTP.
+
+Usage: convert_smoke.py <workdir>
+
+Expects <workdir>/g.dcsr (a valid .dcsr image, produced by `distcolor
+convert`) and <workdir>/distcolor-serve (the server binary). Starts a
+spill-enabled server on a loopback port, uploads the image with
+Content-Type application/x-dcsr, runs a planar6 job to completion, and
+downloads the coloring in the raw little-endian int32 wire format,
+asserting its length matches the graph.
+
+Stdlib only (urllib): no pip dependencies.
+"""
+import json
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+ADDR = "127.0.0.1:18462"
+BASE = f"http://{ADDR}"
+
+
+def request(method, path, data=None, headers=None):
+    req = urllib.request.Request(BASE + path, data=data, method=method,
+                                 headers=headers or {})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+def wait_ready(proc, deadline=30.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"server exited early with code {proc.returncode}")
+        try:
+            status, _, _ = request("GET", "/healthz")
+            if status == 200:
+                return
+        except (urllib.error.URLError, ConnectionError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit("server never became healthy")
+
+
+def main():
+    workdir = sys.argv[1]
+    dcsr = os.path.join(workdir, "g.dcsr")
+    image = open(dcsr, "rb").read()
+    # Header words 8:16 and 16:24 are n and m (little-endian u64).
+    n, m = struct.unpack_from("<QQ", image, 8)
+
+    spill = tempfile.mkdtemp(prefix="convert-smoke-spill-")
+    proc = subprocess.Popen(
+        [os.path.join(workdir, "distcolor-serve"), "-addr", ADDR,
+         "-spill-dir", spill, "-log-level", "warn"])
+    try:
+        wait_ready(proc)
+
+        status, _, body = request(
+            "POST", "/v1/graphs", data=image,
+            headers={"Content-Type": "application/x-dcsr"})
+        graph = json.loads(body)
+        assert status == 201, f"upload: {status} {body!r}"
+        assert graph["n"] == n and graph["m"] == m, f"echoed {graph} for n={n} m={m}"
+        assert graph.get("mapped"), f"upload not page-mapped: {graph}"
+
+        job_req = json.dumps({"graph": graph["id"], "algo": "planar6",
+                              "seed": 7}).encode()
+        status, _, body = request(
+            "POST", "/v1/jobs?wait=true&timeout=60s", data=job_req,
+            headers={"Content-Type": "application/json"})
+        job = json.loads(body)
+        assert status == 202, f"submit: {status} {body!r}"
+        assert job["status"] == "done" and job.get("verified"), f"job: {job}"
+
+        status, headers, body = request(
+            "GET", f"/v1/jobs/{job['id']}/colors",
+            headers={"Accept": "application/octet-stream"})
+        assert status == 200, f"colors: {status}"
+        assert headers.get("Content-Type") == "application/octet-stream", headers
+        assert len(body) == 4 * n, f"{len(body)} color bytes for n={n}"
+        assert int(headers["X-Distcolor-Colors-Total"]) == n, headers
+        colors = struct.unpack(f"<{n}i", body)
+        used = len(set(colors))
+        assert 0 < used <= 6, f"planar6 used {used} colors"
+        print(f"convert smoke OK: n={n} m={m}, {used} colors, "
+              f"{len(body)} binary bytes")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()
